@@ -1,0 +1,129 @@
+package fedshap
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValueByTestSliceAdditivity(t *testing.T) {
+	fed := tinyFederation(t)
+	// Split the 90-sample test set into three disjoint slices.
+	var s1, s2, s3 []int
+	for i := 0; i < 90; i++ {
+		switch i % 3 {
+		case 0:
+			s1 = append(s1, i)
+		case 1:
+			s2 = append(s2, i)
+		default:
+			s3 = append(s3, i)
+		}
+	}
+	rep, err := fed.ValueByTestSlice(ExactShapley(), [][]int{s1, s2, s3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SliceValues) != 3 {
+		t.Fatalf("slices = %d", len(rep.SliceValues))
+	}
+	// Linear additivity (Def. 2, property iii): slice values sum to the
+	// union value exactly for the exact scheme.
+	if gap := rep.AdditivityGap(); gap > 1e-9 {
+		t.Errorf("additivity gap %v for exact valuation", gap)
+	}
+}
+
+func TestValueByTestSliceValidation(t *testing.T) {
+	fed := tinyFederation(t)
+	if _, err := fed.ValueByTestSlice(ExactShapley(), nil, 1); err == nil {
+		t.Errorf("empty slice list accepted")
+	}
+	if _, err := fed.ValueByTestSlice(ExactShapley(), [][]int{{0}, {0}}, 1); err == nil {
+		t.Errorf("overlapping slices accepted")
+	}
+	if _, err := fed.ValueByTestSlice(ExactShapley(), [][]int{{99999}}, 1); err == nil {
+		t.Errorf("out-of-range index accepted")
+	}
+}
+
+func TestValueByTestSliceApproximate(t *testing.T) {
+	fed := tinyFederation(t)
+	var s1, s2 []int
+	for i := 0; i < 90; i++ {
+		if i < 45 {
+			s1 = append(s1, i)
+		} else {
+			s2 = append(s2, i)
+		}
+	}
+	rep, err := fed.ValueByTestSlice(IPSS(5), [][]int{s1, s2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Approximate valuation has a gap, but it must be finite and modest.
+	gap := rep.AdditivityGap()
+	if math.IsNaN(gap) || gap > 1 {
+		t.Errorf("gap = %v", gap)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	fed := tinyFederation(t)
+	rep, err := fed.Value(IPSS(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"algorithm\"") {
+		t.Errorf("JSON missing fields: %s", buf.String())
+	}
+	back, err := ReadReportJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != rep.Algorithm || back.Evaluations != rep.Evaluations {
+		t.Errorf("round trip lost metadata")
+	}
+	for i := range rep.Values {
+		if back.Values[i] != rep.Values[i] {
+			t.Errorf("round trip lost values")
+		}
+	}
+}
+
+func TestReportJSONFile(t *testing.T) {
+	fed := tinyFederation(t)
+	rep, err := fed.Value(IPSS(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/report.json"
+	if err := rep.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReportJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != rep.Algorithm {
+		t.Errorf("file round trip mismatch")
+	}
+}
+
+func TestReadReportJSONRejectsCorrupt(t *testing.T) {
+	if _, err := ReadReportJSON(strings.NewReader("{")); err == nil {
+		t.Errorf("truncated JSON accepted")
+	}
+	if _, err := ReadReportJSON(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Errorf("future version accepted")
+	}
+	if _, err := ReadReportJSON(strings.NewReader(
+		`{"version":1,"names":["a"],"values":[1,2]}`)); err == nil {
+		t.Errorf("mismatched names/values accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Command benchfig regenerates the paper's evaluation figures as data
+// series: Fig. 1(b) (time-vs-error scatter), Fig. 4 (key combinations),
+// Fig. 6 (synthetic setups), Fig. 7 (error vs γ), Fig. 8 (Pareto curves),
+// Fig. 9 (scalability with property proxies) and Fig. 10 (MC vs CC
+// variance), plus the IPSS design-choice ablations.
+//
+// Usage:
+//
+//	benchfig -fig 1b
+//	benchfig -fig 4 -scale tiny
+//	benchfig -fig all -csv > series.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedshap/internal/experiments"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure: 1b | 3 | 4 | 6 | 6noise | 7 | 8 | 9 | 10 | ablations | lemma1 | thm3 | all")
+		scaleName = flag.String("scale", "small", "substrate scale: tiny | small")
+		seed      = flag.Int64("seed", 1, "random seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart     = flag.Bool("chart", false, "also render ASCII charts of the series")
+		n         = flag.Int("n", 10, "client count for single-n figures")
+	)
+	flag.Parse()
+
+	sc := experiments.Small()
+	if *scaleName == "tiny" {
+		sc = experiments.Tiny()
+	}
+	cfg := experiments.DefaultFigConfig(sc, *seed)
+	cfg.N = *n
+
+	emit := func(r *experiments.Report) {
+		if *csv {
+			r.RenderCSV(os.Stdout)
+		} else {
+			r.Render(os.Stdout)
+		}
+	}
+
+	plot := func(r *experiments.Report, groupCol, xCol, yCol int, xl, yl string, logY bool) {
+		if !*chart || *csv {
+			return
+		}
+		c := experiments.ChartFromRows(r.Title, r.Rows, groupCol, xCol, yCol, xl, yl, logY)
+		c.Render(os.Stdout)
+	}
+
+	runs := map[string]func(){
+		"1b": func() { emit(experiments.Fig1b(cfg)) },
+		"4": func() {
+			r := experiments.Fig4(cfg)
+			emit(r)
+			plot(r, 2, 0, 1, "K", "rel error", false) // group by evals col? use K on x
+		},
+		"6":      func() { emit(experiments.Fig6(cfg)) },
+		"6noise": func() { emit(experiments.Fig6Noise(cfg, nil)) },
+		"7": func() {
+			r := experiments.Fig7(cfg, nil)
+			emit(r)
+			plot(r, 2, 1, 3, "γ", "mean error", true)
+		},
+		"8": func() {
+			r := experiments.Fig8(cfg, nil, nil)
+			emit(r)
+			plot(r, 3, 4, 5, "time (s)", "mean error", true)
+		},
+		"9": func() {
+			r := experiments.Fig9(cfg, nil)
+			emit(r)
+			plot(r, 2, 0, 3, "n", "time (s)", false)
+		},
+		"10":        func() { emit(experiments.Fig10(cfg, nil, nil)) },
+		"ablations": func() { emit(experiments.Ablations(cfg)) },
+		"lemma1":    func() { emit(experiments.LemmaOne(experiments.DefaultLinRegProblem(*seed), 10)) },
+		"thm3":      func() { emit(experiments.TheoremThree(experiments.DefaultLinRegProblem(*seed), 5)) },
+		"3": func() {
+			p := experiments.NewFEMNISTProblem(cfg.N, experiments.MLP, sc, *seed)
+			emit(experiments.MarginalCurve(p, *seed))
+		},
+	}
+	if *fig == "all" {
+		for _, key := range []string{"1b", "3", "4", "6", "6noise", "7", "8", "9", "10", "ablations", "lemma1", "thm3"} {
+			runs[key]()
+		}
+		return
+	}
+	run, ok := runs[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+	run()
+}

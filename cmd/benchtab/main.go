@@ -1,0 +1,88 @@
+// Command benchtab regenerates the paper's evaluation tables (Table IV on
+// the FEMNIST-like benchmark and Table V on the Adult-like benchmark) at a
+// chosen substrate scale, printing the same rows the paper reports: per
+// model family and client count, the running time and ℓ2 approximation
+// error of all ten compared algorithms.
+//
+// Usage:
+//
+//	benchtab            # both tables, small scale
+//	benchtab -table 4   # Table IV only
+//	benchtab -table 5 -scale tiny -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedshap/internal/experiments"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "table to regenerate: 4 | 5 (0 = both)")
+		scaleName = flag.String("scale", "small", "substrate scale: tiny | small")
+		seed      = flag.Int64("seed", 1, "random seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		ns        = flag.String("n", "", "comma-separated client counts (default 3,6,10)")
+	)
+	flag.Parse()
+
+	sc := experiments.Small()
+	if *scaleName == "tiny" {
+		sc = experiments.Tiny()
+	}
+	cfg := experiments.DefaultTableConfig(sc, *seed)
+	if *ns != "" {
+		parsed, err := parseInts(*ns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		cfg.Ns = parsed
+	}
+
+	emit := func(r *experiments.Report) {
+		if *csv {
+			r.RenderCSV(os.Stdout)
+		} else {
+			r.Render(os.Stdout)
+		}
+	}
+
+	if *table == 0 || *table == 4 {
+		emit(experiments.TableIV(cfg))
+	}
+	if *table == 0 || *table == 5 {
+		vcfg := cfg
+		vcfg.Models = []experiments.ModelKind{experiments.MLP, experiments.XGB}
+		emit(experiments.TableV(vcfg))
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitComma(s) {
+		var v int
+		if _, err := fmt.Sscanf(part, "%d", &v); err != nil {
+			return nil, fmt.Errorf("bad client count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

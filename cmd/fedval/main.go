@@ -1,0 +1,250 @@
+// Command fedval values a synthetic federation from the command line: pick
+// a dataset family, a model, a federation size and an algorithm, and it
+// prints the per-client data values with timing and budget accounting.
+//
+// Usage:
+//
+//	fedval -data femnist -model mlp -n 6 -alg ipss
+//	fedval -data adult -model xgb -n 10 -alg ipss -gamma 64
+//	fedval -data synthetic -setup same-size-noisy-label -noise 0.2 -alg exact
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"fedshap/internal/dataset"
+	"fedshap/internal/experiments"
+	"fedshap/internal/fl"
+	"fedshap/internal/model"
+	"fedshap/internal/shapley"
+	"fedshap/internal/utility"
+)
+
+// jsonResult is the machine-readable output of -json.
+type jsonResult struct {
+	Problem     string    `json:"problem"`
+	Algorithm   string    `json:"algorithm"`
+	Seconds     float64   `json:"seconds"`
+	Evaluations int       `json:"evaluations"`
+	Values      []float64 `json:"values"`
+	Exact       []float64 `json:"exact,omitempty"`
+	L2Error     *float64  `json:"l2_error,omitempty"`
+}
+
+func main() {
+	var (
+		data  = flag.String("data", "femnist", "dataset family: femnist | adult | synthetic | csv")
+		file  = flag.String("file", "", "CSV file for -data csv (features..., integer label last; header auto-detected)")
+		setup = flag.String("setup", string(experiments.SameSizeSameDist),
+			"synthetic partition setup: same-size-same-distr | same-size-diff-distr | diff-size-same-distr | same-size-noisy-label | same-size-noisy-feature")
+		noise     = flag.Float64("noise", 0.1, "noise level for the noisy synthetic setups (0..0.2)")
+		modelKind = flag.String("model", "mlp", "FL model: mlp | cnn | xgb | logreg | deepmlp")
+		n         = flag.Int("n", 6, "number of FL clients (2..127)")
+		algName   = flag.String("alg", "ipss", "algorithm: ipss | ipss-rescaled | exact | perm | stratified-mc | stratified-cc | kgreedy | tmc | gtb | ccshapley | digfl | or | lambdamr | gtg")
+		gamma     = flag.Int("gamma", 0, "sampling budget γ (0 = paper's Table III / n·ln n policy)")
+		k         = flag.Int("k", 2, "K for kgreedy")
+		seed      = flag.Int64("seed", 1, "random seed")
+		scaleName = flag.String("scale", "small", "substrate scale: tiny | small")
+		compare   = flag.Bool("compare", false, "also compute exact values and report the l2 error (2^n trainings)")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	sc := experiments.Small()
+	if *scaleName == "tiny" {
+		sc = experiments.Tiny()
+	}
+	if *gamma == 0 {
+		*gamma = experiments.GammaForN(*n)
+	}
+
+	kind, err := parseModel(*modelKind)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := buildProblem(*data, *file, *setup, *noise, *n, kind, sc, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	alg, err := parseAlg(*algName, *gamma, *k)
+	if err != nil {
+		fatal(err)
+	}
+
+	var exact shapley.Values
+	if *compare {
+		fmt.Fprintf(os.Stderr, "computing exact values (%d coalition trainings)...\n", 1<<uint(*n))
+		exact, _ = experiments.ExactValues(p, *seed+1)
+	}
+
+	res := experiments.RunAlgorithm(p, alg, exact, *seed+2)
+	if res.RunErr != nil {
+		fatal(res.RunErr)
+	}
+	if res.NotApplicable {
+		fatal(fmt.Errorf("%s is not applicable to model %s", alg.Name(), kind))
+	}
+
+	if *jsonOut {
+		out := jsonResult{
+			Problem:     p.Name,
+			Algorithm:   res.Algorithm,
+			Seconds:     res.Seconds,
+			Evaluations: res.Evals,
+			Values:      res.Values,
+		}
+		if exact != nil {
+			out.Exact = exact
+			out.L2Error = &res.Err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("problem:    %s\n", p.Name)
+	fmt.Printf("algorithm:  %s\n", res.Algorithm)
+	fmt.Printf("time:       %.3fs   coalition evaluations: %d\n", res.Seconds, res.Evals)
+	if exact != nil {
+		fmt.Printf("l2 error:   %.4f\n", res.Err)
+	}
+	fmt.Println()
+	fmt.Printf("%-10s %12s", "client", "value")
+	if exact != nil {
+		fmt.Printf(" %12s", "exact")
+	}
+	fmt.Println()
+	for i, v := range res.Values {
+		fmt.Printf("client-%-3d %12.4f", i, v)
+		if exact != nil {
+			fmt.Printf(" %12.4f", exact[i])
+		}
+		fmt.Println()
+	}
+}
+
+func parseModel(s string) (experiments.ModelKind, error) {
+	switch strings.ToLower(s) {
+	case "mlp":
+		return experiments.MLP, nil
+	case "cnn":
+		return experiments.CNN, nil
+	case "xgb":
+		return experiments.XGB, nil
+	case "logreg":
+		return experiments.LogReg, nil
+	case "deepmlp":
+		return experiments.DeepMLP, nil
+	default:
+		return "", fmt.Errorf("unknown model %q", s)
+	}
+}
+
+func buildProblem(data, file, setup string, noise float64, n int, kind experiments.ModelKind, sc experiments.Scale, seed int64) (*experiments.Problem, error) {
+	if n < 2 || n > 127 {
+		return nil, fmt.Errorf("n=%d out of range [2,127]", n)
+	}
+	switch strings.ToLower(data) {
+	case "csv":
+		return csvProblem(file, n, kind, sc, seed)
+	case "femnist":
+		return experiments.NewFEMNISTProblem(n, kind, sc, seed), nil
+	case "adult":
+		return experiments.NewAdultProblem(n, kind, sc, seed), nil
+	case "synthetic":
+		return experiments.NewSyntheticProblem(experiments.SyntheticSetup(setup), n, kind, sc, noise, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", data)
+	}
+}
+
+func parseAlg(name string, gamma, k int) (shapley.Valuer, error) {
+	switch strings.ToLower(name) {
+	case "ipss":
+		return shapley.NewIPSS(gamma), nil
+	case "ipss-rescaled":
+		return &shapley.IPSS{Gamma: gamma, RescaleSampledStratum: true}, nil
+	case "exact", "mc":
+		return shapley.ExactMC{}, nil
+	case "perm":
+		return shapley.ExactPerm{}, nil
+	case "stratified-mc":
+		return shapley.NewStratified(shapley.MC, gamma), nil
+	case "stratified-cc":
+		return shapley.NewStratified(shapley.CC, gamma), nil
+	case "kgreedy":
+		return &shapley.KGreedy{K: k}, nil
+	case "tmc":
+		return shapley.NewTMC(gamma), nil
+	case "gtb":
+		return shapley.NewGTB(gamma), nil
+	case "ccshapley":
+		return shapley.NewCCShapley(gamma), nil
+	case "digfl":
+		return shapley.DIGFL{}, nil
+	case "or":
+		return shapley.OR{}, nil
+	case "lambdamr":
+		return &shapley.LambdaMR{}, nil
+	case "gtg":
+		return &shapley.GTGShapley{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// csvProblem partitions a user-supplied CSV into an IID federation with a
+// held-out test split.
+func csvProblem(file string, n int, kind experiments.ModelKind, sc experiments.Scale, seed int64) (*experiments.Problem, error) {
+	if file == "" {
+		return nil, fmt.Errorf("-data csv requires -file")
+	}
+	pool, err := dataset.LoadCSV(file, 0)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	train, test := pool.Split(0.8, rng)
+	clients := dataset.PartitionEqualIID(train, n, rng)
+	spec := &utility.FLSpec{
+		Factory: csvFactory(kind, pool.Dim(), pool.NumClasses, sc),
+		Clients: clients,
+		Test:    test,
+		Config:  fl.Config{Rounds: sc.Rounds, LocalEpochs: sc.LocalEpochs, LR: 0.05, Seed: seed, WeightBySize: true},
+		Metric:  model.Accuracy,
+	}
+	return &experiments.Problem{
+		Name: fmt.Sprintf("csv:%s/n=%d/%s", file, n, kind),
+		N:    n,
+		Spec: spec,
+	}, nil
+}
+
+func csvFactory(kind experiments.ModelKind, dim, classes int, sc experiments.Scale) model.Factory {
+	switch kind {
+	case experiments.MLP:
+		return func(seed int64) model.Model { return model.NewMLP(dim, sc.Hidden, classes, seed) }
+	case experiments.LogReg:
+		return func(seed int64) model.Model { return model.NewLogReg(dim, classes, seed) }
+	case experiments.XGB:
+		cfg := model.DefaultXGBConfig()
+		cfg.Rounds = sc.XGBRounds
+		return func(seed int64) model.Model { return model.NewXGB(classes, cfg, seed) }
+	default:
+		// CSV data carries no image shape; CNN is not meaningful here.
+		return func(seed int64) model.Model { return model.NewMLP(dim, sc.Hidden, classes, seed) }
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+package fedshap
+
+import (
+	"errors"
+	"math/rand"
+
+	"fedshap/internal/dataset"
+)
+
+// Dataset construction helpers: build from raw slices, or use the synthetic
+// generators mirroring the paper's benchmark corpora.
+
+// NewDataset builds a dataset from raw features and labels. Labels must lie
+// in [0, numClasses).
+func NewDataset(name string, features [][]float64, labels []int, numClasses int) (*Dataset, error) {
+	if len(features) != len(labels) {
+		return nil, errors.New("fedshap: features and labels length mismatch")
+	}
+	if len(features) == 0 {
+		return nil, errors.New("fedshap: empty dataset; use EmptyDataset for free riders")
+	}
+	dim := len(features[0])
+	d := dataset.New(name, len(features), dim, numClasses)
+	for i, row := range features {
+		if len(row) != dim {
+			return nil, errors.New("fedshap: ragged feature rows")
+		}
+		copy(d.X.Row(i), row)
+		if labels[i] < 0 || labels[i] >= numClasses {
+			return nil, errors.New("fedshap: label out of range")
+		}
+		d.Y[i] = labels[i]
+	}
+	return d, nil
+}
+
+// EmptyDataset returns a zero-sample dataset with the given schema,
+// modelling a free-riding client.
+func EmptyDataset(name string, dim, numClasses int) *Dataset {
+	return dataset.New(name, 0, dim, numClasses)
+}
+
+// SyntheticImages generates an MNIST-like image classification dataset
+// (10 classes of 10×10 images by default) — the raw material of the
+// paper's synthetic experiments.
+func SyntheticImages(samples int, seed int64) *Dataset {
+	return dataset.SynthImages(dataset.DefaultSynthImages(samples, seed))
+}
+
+// FederatedWriters generates a FEMNIST-like federation: writers share class
+// structure but differ in style, giving naturally non-IID client datasets
+// plus a shared test set.
+func FederatedWriters(writers, samplesPerWriter, testSamples int, seed int64) (clients []*Dataset, test *Dataset) {
+	cfg := dataset.DefaultFEMNISTLike(writers, samplesPerWriter, seed)
+	if testSamples > 0 {
+		cfg.TestSamples = testSamples
+	}
+	return dataset.FEMNISTLike(cfg)
+}
+
+// CensusTabular generates an Adult-like binary tabular dataset with
+// occupation codes usable as a partition key.
+func CensusTabular(samples int, seed int64) (*Dataset, []int) {
+	return dataset.AdultLike(dataset.DefaultAdultLike(samples, seed))
+}
+
+// PartitionIID splits a pool into n same-size IID client datasets
+// (the paper's setup (a)).
+func PartitionIID(pool *Dataset, n int, seed int64) []*Dataset {
+	return dataset.PartitionEqualIID(pool, n, rand.New(rand.NewSource(seed)))
+}
+
+// PartitionLabelSkew splits a pool into n same-size clients with label
+// skew: majorFrac of each client's data comes from its own label group
+// (setup (b)).
+func PartitionLabelSkew(pool *Dataset, n int, majorFrac float64, seed int64) []*Dataset {
+	return dataset.PartitionLabelSkew(pool, n, majorFrac, rand.New(rand.NewSource(seed)))
+}
+
+// PartitionBySize splits a pool into n clients with size ratios 1:2:…:n
+// (setup (c)).
+func PartitionBySize(pool *Dataset, n int, seed int64) []*Dataset {
+	return dataset.PartitionBySizeRatio(pool, n, rand.New(rand.NewSource(seed)))
+}
+
+// PartitionByGroup splits a pool by an integer key (e.g. occupation),
+// assigning whole key groups to clients round-robin.
+func PartitionByGroup(pool *Dataset, keys []int, n int) []*Dataset {
+	return dataset.PartitionByKey(pool, keys, n)
+}
+
+// CorruptLabels flips a fraction of labels uniformly to other classes, in
+// place (setup (d)). Returns the number of flipped samples.
+func CorruptLabels(d *Dataset, fraction float64, seed int64) int {
+	return dataset.AddLabelNoise(d, fraction, rand.New(rand.NewSource(seed)))
+}
+
+// CorruptFeatures adds scale·N(0,1) noise to all features, in place
+// (setup (e)).
+func CorruptFeatures(d *Dataset, scale float64, seed int64) {
+	dataset.AddFeatureNoise(d, scale, rand.New(rand.NewSource(seed)))
+}
+
+// LoadDatasetCSV reads a dataset from a CSV file: numeric feature columns
+// with the integer class label last; a non-numeric header row is skipped.
+// numClasses 0 infers the class count from the labels.
+func LoadDatasetCSV(path string, numClasses int) (*Dataset, error) {
+	return dataset.LoadCSV(path, numClasses)
+}
+
+// SaveDataset / LoadDataset persist a dataset in the compact gob format.
+func SaveDataset(d *Dataset, path string) error { return d.Save(path) }
+
+// LoadDataset reads a gob dataset written by SaveDataset.
+func LoadDataset(path string) (*Dataset, error) { return dataset.Load(path) }
+
+// SplitTrainTest splits a dataset into train and test portions.
+func SplitTrainTest(d *Dataset, trainFrac float64, seed int64) (train, test *Dataset) {
+	return d.Split(trainFrac, rand.New(rand.NewSource(seed)))
+}

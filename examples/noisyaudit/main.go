@@ -1,0 +1,75 @@
+// Command noisyaudit shows data valuation as a data-quality audit (the
+// paper's setup (d), same-size-noisy-label): ten clients hold equally sized
+// IID partitions, but some clients' labels are progressively corrupted.
+// Shapley values — here approximated by IPSS at budget γ=32, since 2¹⁰
+// exact evaluations would be expensive — rank clean clients above noisy
+// ones, exposing the corruption without inspecting any raw data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"fedshap"
+)
+
+func main() {
+	pool := fedshap.SyntheticImages(1300, 21)
+	train, test := fedshap.SplitTrainTest(pool, 0.77, 22)
+	clients := fedshap.PartitionIID(train, 10, 23)
+
+	// Clients 5..9 get increasing label noise: 10%, 20%, 30%, 40%, 50%.
+	noise := map[int]float64{5: 0.1, 6: 0.2, 7: 0.3, 8: 0.4, 9: 0.5}
+	for i, frac := range noise {
+		fedshap.CorruptLabels(clients[i], frac, int64(100+i))
+	}
+
+	fed, err := fedshap.NewFederation(
+		fedshap.WithDatasets(clients...),
+		fedshap.WithTestSet(test),
+		fedshap.WithLogReg(),
+		fedshap.WithFLRounds(3),
+		fedshap.WithSeed(31),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := fed.Value(fedshap.IPSS(fed.RecommendedGamma()), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type ranked struct {
+		idx   int
+		value float64
+	}
+	order := make([]ranked, len(rep.Values))
+	for i, v := range rep.Values {
+		order[i] = ranked{i, v}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].value > order[b].value })
+
+	fmt.Printf("data-quality audit via IPSS (γ=%d, %d evaluations, %.2fs)\n\n",
+		fed.RecommendedGamma(), rep.Evaluations, rep.Seconds)
+	fmt.Printf("%-4s %-10s %10s %12s\n", "rank", "client", "value", "label noise")
+	for r, e := range order {
+		fmt.Printf("%-4d %-10s %10.4f %11.0f%%\n",
+			r+1, rep.Names[e.idx], e.value, noise[e.idx]*100)
+	}
+
+	// Quality signal: mean value of clean vs noisy clients.
+	var clean, noisy float64
+	for i, v := range rep.Values {
+		if _, bad := noise[i]; bad {
+			noisy += v / float64(len(noise))
+		} else {
+			clean += v / float64(len(rep.Values)-len(noise))
+		}
+	}
+	fmt.Printf("\nmean value: clean clients %.4f, noisy clients %.4f\n", clean, noisy)
+	if clean > noisy {
+		fmt.Println("=> valuation correctly prices noisy data below clean data")
+	}
+}

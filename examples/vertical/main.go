@@ -1,0 +1,74 @@
+// Command vertical demonstrates feature-provider valuation in vertical
+// federated learning: a bank, a telecom and a retailer hold different
+// feature columns about the same customers; the coordinator holds default
+// labels. Shapley values over feature blocks price each provider's
+// columns — the bank's (which carry most of the signal here) should
+// dominate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fedshap"
+)
+
+func main() {
+	const (
+		samples = 800
+		perProv = 4 // feature columns per provider
+	)
+	rng := rand.New(rand.NewSource(11))
+
+	// Build an aligned tabular dataset: 12 columns across 3 providers.
+	dim := 3 * perProv
+	features := make([][]float64, samples)
+	labels := make([]int, samples)
+	for i := range features {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		// Bank columns (0-3) drive default risk; telecom column 4 helps a
+		// little; retail columns are noise.
+		z := 1.6*row[0] - 1.1*row[2] + 0.4*row[4] + 0.3*rng.NormFloat64()
+		if z > 0 {
+			labels[i] = 1
+		}
+		features[i] = row
+	}
+	pool, err := fedshap.NewDataset("credit", features, labels, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := fedshap.SplitTrainTest(pool, 0.75, 13)
+
+	blocks := []fedshap.FeatureBlock{
+		{Name: "bank", Start: 0, Width: perProv},
+		{Name: "telecom", Start: perProv, Width: perProv},
+		{Name: "retail", Start: 2 * perProv, Width: perProv},
+	}
+	fed, err := fedshap.NewVerticalFederation(train, test, blocks,
+		fedshap.WithVerticalEpochs(4), fedshap.WithVerticalSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exact, err := fed.Value(fedshap.ExactShapley(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	approx, err := fed.Value(fedshap.IPSS(5), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("feature-provider valuation (vertical FL)")
+	fmt.Printf("%-10s %12s %12s\n", "provider", "exact SV", "IPSS(γ=5)")
+	for i, name := range exact.Names {
+		fmt.Printf("%-10s %12.4f %12.4f\n", name, exact.Values[i], approx.Values[i])
+	}
+	fmt.Printf("\nexact: %d coalition trainings; IPSS: %d\n",
+		exact.Evaluations, approx.Evaluations)
+}

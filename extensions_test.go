@@ -1,0 +1,334 @@
+package fedshap
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValueParallelMatchesSequential(t *testing.T) {
+	fed := tinyFederation(t)
+	seq, err := fed.Value(IPSS(6), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := fed.ValueParallel(IPSS(6), 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Values {
+		if math.Abs(seq.Values[i]-par.Values[i]) > 1e-12 {
+			t.Fatalf("parallel deviates at client %d: %v vs %v", i, par.Values[i], seq.Values[i])
+		}
+	}
+}
+
+func TestValueParallelExact(t *testing.T) {
+	fed := tinyFederation(t)
+	seq, err := fed.ExactValues(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := fed.ValueParallel(ExactShapley(), 1, 0) // 0 = GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Values {
+		if math.Abs(seq.Values[i]-par.Values[i]) > 1e-12 {
+			t.Fatalf("parallel exact deviates at client %d", i)
+		}
+	}
+	if par.Evaluations != 8 {
+		t.Errorf("parallel exact evals = %d, want 8", par.Evaluations)
+	}
+}
+
+func TestValueParallelNonPrefetchable(t *testing.T) {
+	fed := tinyFederation(t)
+	// TMC has no deterministic plan; ValueParallel must still work.
+	rep, err := fed.ValueParallel(TMC(6), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 3 {
+		t.Errorf("values = %v", rep.Values)
+	}
+}
+
+func TestFedProxFederation(t *testing.T) {
+	clients, test := FederatedWriters(3, 30, 90, 27)
+	fed, err := NewFederation(
+		WithDatasets(clients...),
+		WithTestSet(test),
+		WithLogReg(),
+		WithFedProx(0.5),
+		WithFLRounds(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fed.Value(IPSS(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 3 {
+		t.Errorf("values = %v", rep.Values)
+	}
+	// FedProx must actually change the game relative to FedAvg.
+	fedAvg, err := NewFederation(
+		WithDatasets(clients...),
+		WithTestSet(test),
+		WithLogReg(),
+		WithFLRounds(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uProx := fed.Utility([]int{0, 1})
+	uAvg := fedAvg.Utility([]int{0, 1})
+	if uProx == uAvg {
+		t.Logf("FedProx and FedAvg coincide on this coalition (possible but unusual): %v", uProx)
+	}
+	if _, err := NewFederation(
+		WithDatasets(clients...), WithTestSet(test), WithFedProx(-1),
+	); err == nil {
+		t.Errorf("negative mu accepted")
+	}
+}
+
+func TestBanzhafValuers(t *testing.T) {
+	fed := tinyFederation(t)
+	exact, err := fed.Value(Banzhaf(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Evaluations != 8 {
+		t.Errorf("Banzhaf exact evals = %d, want 8", exact.Evaluations)
+	}
+	mc, err := fed.Value(BanzhafMC(6), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Values) != 3 {
+		t.Errorf("values = %v", mc.Values)
+	}
+}
+
+func TestPlanBudget(t *testing.T) {
+	// Loose target → small budget; tight target → larger budget.
+	loose := PlanBudget(10, 500, 8, 0.1)
+	tight := PlanBudget(10, 500, 8, 0.0001)
+	if loose <= 0 || tight <= 0 {
+		t.Fatalf("budgets: loose=%d tight=%d", loose, tight)
+	}
+	if tight < loose {
+		t.Errorf("tighter target got smaller budget: %d < %d", tight, loose)
+	}
+	if tight > 1024 {
+		t.Errorf("budget %d exceeds 2^10", tight)
+	}
+}
+
+func TestStratifiedSchemesViaAPI(t *testing.T) {
+	fed := tinyFederation(t)
+	for _, scheme := range []Scheme{MCScheme, CCScheme} {
+		rep, err := fed.Value(Stratified(scheme, 8), 3)
+		if err != nil {
+			t.Fatalf("scheme %v: %v", scheme, err)
+		}
+		if len(rep.Values) != 3 {
+			t.Errorf("scheme %v: values = %v", scheme, rep.Values)
+		}
+	}
+}
+
+func TestDeepMLPFederation(t *testing.T) {
+	clients, test := FederatedWriters(3, 25, 60, 61)
+	fed, err := NewFederation(
+		WithDatasets(clients...),
+		WithTestSet(test),
+		WithDeepMLP(10, 8),
+		WithFLRounds(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fed.Value(IPSS(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 3 {
+		t.Errorf("values = %v", rep.Values)
+	}
+	// Gradient baselines work on DeepMLP too (it is parametric).
+	if _, err := fed.Value(OR(), 2); err != nil {
+		t.Errorf("OR on DeepMLP: %v", err)
+	}
+	// Validation.
+	if _, err := NewFederation(
+		WithDatasets(clients...), WithTestSet(test), WithDeepMLP(),
+	); err == nil {
+		t.Errorf("empty hidden list accepted")
+	}
+	if _, err := NewFederation(
+		WithDatasets(clients...), WithTestSet(test), WithDeepMLP(0),
+	); err == nil {
+		t.Errorf("zero hidden width accepted")
+	}
+}
+
+func TestVerticalFederationAPI(t *testing.T) {
+	pool := SyntheticImages(300, 71)
+	train, test := SplitTrainTest(pool, 0.75, 72)
+	blocks := EqualFeatureBlocks(train.Dim(), 4)
+	fed, err := NewVerticalFederation(train, test, blocks,
+		WithVerticalEpochs(2), WithVerticalLR(0.1), WithVerticalSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.N() != 4 {
+		t.Fatalf("N = %d", fed.N())
+	}
+	rep, err := fed.Value(IPSS(8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 4 || rep.Evaluations > 8 {
+		t.Errorf("values=%v evals=%d", rep.Values, rep.Evaluations)
+	}
+	if rep.Names[0] != "provider-0" {
+		t.Errorf("names = %v", rep.Names)
+	}
+	// Overlapping blocks rejected at construction.
+	bad := []FeatureBlock{{Name: "a", Start: 0, Width: 10}, {Name: "b", Start: 5, Width: 10}}
+	if _, err := NewVerticalFederation(train, test, bad); err == nil {
+		t.Errorf("overlapping blocks accepted")
+	}
+}
+
+func TestVerticalExactEfficiency(t *testing.T) {
+	pool := SyntheticImages(200, 73)
+	train, test := SplitTrainTest(pool, 0.75, 74)
+	blocks := EqualFeatureBlocks(train.Dim(), 3)
+	fed, err := NewVerticalFederation(train, test, blocks, WithVerticalEpochs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fed.Value(ExactShapley(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Efficiency holds for the feature game too (Σφ = U(N) − U(∅)); we
+	// can't query the oracle directly here, so check finite + count.
+	if rep.Evaluations != 8 {
+		t.Errorf("exact evals = %d, want 8", rep.Evaluations)
+	}
+	for i, v := range rep.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("provider %d value %v", i, v)
+		}
+	}
+}
+
+func TestStratifiedNeymanAPI(t *testing.T) {
+	fed := tinyFederation(t)
+	rep, err := fed.Value(StratifiedNeyman(12), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 3 {
+		t.Errorf("values = %v", rep.Values)
+	}
+	for _, v := range rep.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("bad value %v", v)
+		}
+	}
+}
+
+func TestDatasetPersistencePublicAPI(t *testing.T) {
+	d := SyntheticImages(25, 81)
+	dir := t.TempDir()
+
+	gobPath := dir + "/d.gob"
+	if err := SaveDataset(d, gobPath); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Errorf("gob round trip len %d", back.Len())
+	}
+	if _, err := LoadDataset(dir + "/missing.gob"); err == nil {
+		t.Errorf("missing gob accepted")
+	}
+	if _, err := LoadDatasetCSV(dir+"/missing.csv", 0); err == nil {
+		t.Errorf("missing csv accepted")
+	}
+}
+
+func TestValueRepeated(t *testing.T) {
+	fed := tinyFederation(t)
+	rep, err := fed.ValueRepeated(TMC(6), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 8 || len(rep.Mean) != 3 {
+		t.Fatalf("shape: runs=%d mean=%v", rep.Runs, rep.Mean)
+	}
+	for i := range rep.Mean {
+		if math.IsNaN(rep.Mean[i]) || rep.Std[i] < 0 || rep.CI95[i] < 0 {
+			t.Errorf("client %d: mean=%v std=%v ci=%v", i, rep.Mean[i], rep.Std[i], rep.CI95[i])
+		}
+	}
+	// Exact algorithm: zero spread.
+	ex, err := fed.ValueRepeated(ExactShapley(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ex.Std {
+		if s != 0 {
+			t.Errorf("exact repeated std[%d] = %v, want 0", i, s)
+		}
+	}
+	// Shared cache: exact repeated three times still costs 2^3 trainings.
+	if ex.Evaluations != 8 {
+		t.Errorf("evals = %d, want 8 (cache shared)", ex.Evaluations)
+	}
+	if _, err := fed.ValueRepeated(TMC(6), 1, 1); err == nil {
+		t.Errorf("runs=1 accepted")
+	}
+}
+
+func TestPerRoundValues(t *testing.T) {
+	fed := tinyFederation(t)
+	rounds, err := fed.PerRoundValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 2 { // tinyFederation uses 2 FL rounds
+		t.Fatalf("rounds = %d", len(rounds))
+	}
+	for r, v := range rounds {
+		if len(v) != 3 {
+			t.Fatalf("round %d has %d values", r, len(v))
+		}
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Errorf("round %d client %d value %v", r, i, x)
+			}
+		}
+	}
+	// Tree models have no trace → error.
+	pool, occ := CensusTabular(150, 3)
+	clients := PartitionByGroup(pool, occ, 3)
+	_, test := SplitTrainTest(pool, 0.7, 4)
+	xfed, err := NewFederation(WithDatasets(clients...), WithTestSet(test), WithXGB(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xfed.PerRoundValues(); err == nil {
+		t.Errorf("per-round values on XGB should fail")
+	}
+}

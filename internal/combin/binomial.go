@@ -1,0 +1,80 @@
+package combin
+
+import "fmt"
+
+// Binomial returns C(n, k) as a float64. Exact for the range used in
+// valuation (n <= 63); float64 keeps the Shapley weights 1/(n*C(n-1,k))
+// free of integer-overflow concerns.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res = res * float64(n-i) / float64(i+1)
+	}
+	return res
+}
+
+// BinomialInt returns C(n, k) as uint64, panicking on overflow. Used where
+// an exact count is needed (e.g. stratum sizes for budget accounting).
+func BinomialInt(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var res uint64 = 1
+	for i := 0; i < k; i++ {
+		next := res * uint64(n-i)
+		if next/uint64(n-i) != res {
+			panic(fmt.Sprintf("combin: C(%d,%d) overflows uint64", n, k))
+		}
+		res = next / uint64(i+1)
+	}
+	return res
+}
+
+// CumulativeBinomial returns Σ_{j=0..k} C(n, j), saturating at max uint64.
+func CumulativeBinomial(n, k int) uint64 {
+	var sum uint64
+	for j := 0; j <= k && j <= n; j++ {
+		b := BinomialInt(n, j)
+		if sum+b < sum {
+			return ^uint64(0) // saturate
+		}
+		sum += b
+	}
+	return sum
+}
+
+// MaxFullStratum returns k* = max{k : Σ_{j=0..k} C(n,j) <= budget}, the
+// largest combination size that can be exhaustively evaluated within the
+// sampling budget (Alg. 3 line 1). Returns -1 if even the empty coalition
+// does not fit (budget == 0).
+func MaxFullStratum(n int, budget uint64) int {
+	kstar := -1
+	var sum uint64
+	for k := 0; k <= n; k++ {
+		b := BinomialInt(n, k)
+		if sum+b < sum || sum+b > budget {
+			break
+		}
+		sum += b
+		kstar = k
+	}
+	return kstar
+}
+
+// Factorial returns n! as float64 (exact through n = 20, approximate above).
+func Factorial(n int) float64 {
+	res := 1.0
+	for i := 2; i <= n; i++ {
+		res *= float64(i)
+	}
+	return res
+}

@@ -1,0 +1,170 @@
+package combin
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// RandomSubsetOfSize draws one uniform-random subset of {0..n-1} with
+// exactly k members using a partial Fisher-Yates shuffle.
+func RandomSubsetOfSize(n, k int, rng *rand.Rand) Coalition {
+	if k < 0 || k > n {
+		panic("combin: RandomSubsetOfSize size out of range")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var c Coalition
+	for j := 0; j < k; j++ {
+		p := j + rng.Intn(n-j)
+		idx[j], idx[p] = idx[p], idx[j]
+		c = c.With(idx[j])
+	}
+	return c
+}
+
+// SampleStratumWithoutReplacement draws up to m distinct subsets of size k
+// from {0..n-1}. When m >= C(n,k) it returns the whole stratum. For small
+// strata it enumerates and shuffles; for large strata it rejection-samples,
+// which is efficient because m << C(n,k) in that regime.
+func SampleStratumWithoutReplacement(n, k, m int, rng *rand.Rand) []Coalition {
+	if m <= 0 {
+		return nil
+	}
+	total := BinomialInt(n, k)
+	if uint64(m) >= total {
+		out := make([]Coalition, 0, total)
+		SubsetsOfSize(n, k, func(s Coalition) { out = append(out, s) })
+		return out
+	}
+	// Enumerate-and-shuffle when the stratum is small enough to hold.
+	const enumerateLimit = 1 << 16
+	if total <= enumerateLimit {
+		all := make([]Coalition, 0, total)
+		SubsetsOfSize(n, k, func(s Coalition) { all = append(all, s) })
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		return all[:m]
+	}
+	seen := make(map[Coalition]struct{}, m)
+	out := make([]Coalition, 0, m)
+	for len(out) < m {
+		s := RandomSubsetOfSize(n, k, rng)
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// BalancedStratumSample draws up to m distinct subsets of size k from
+// {0..n-1} such that every player appears in (as close as possible) the same
+// number of sampled subsets — constraint (3) of Alg. 3 (C_i = C_j for all
+// i, j). It builds subsets greedily from the least-covered players, breaking
+// ties randomly, and retries on duplicates.
+//
+// Exact equality of coverage requires m*k ≡ 0 (mod n); otherwise coverage
+// counts differ by at most one, which is the best achievable.
+func BalancedStratumSample(n, k, m int, rng *rand.Rand) []Coalition {
+	if m <= 0 || k <= 0 || k > n {
+		return nil
+	}
+	total := BinomialInt(n, k)
+	if uint64(m) >= total {
+		out := make([]Coalition, 0, total)
+		SubsetsOfSize(n, k, func(s Coalition) { out = append(out, s) })
+		return out
+	}
+	coverage := make([]int, n)
+	seen := make(map[Coalition]struct{}, m)
+	out := make([]Coalition, 0, m)
+	attempts := 0
+	maxAttempts := 64 * m
+	for len(out) < m && attempts < maxAttempts {
+		attempts++
+		s := leastCoveredSubset(coverage, k, rng)
+		if _, dup := seen[s]; dup {
+			// Re-draw with extra randomness: perturb by random subset.
+			s = RandomSubsetOfSize(len(coverage), k, rng)
+			if _, dup2 := seen[s]; dup2 {
+				continue
+			}
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+		for _, i := range s.Members() {
+			coverage[i]++
+		}
+	}
+	// Fallback: top up with rejection sampling if the greedy loop stalled.
+	for len(out) < m {
+		s := RandomSubsetOfSize(n, k, rng)
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	return out
+}
+
+// leastCoveredSubset picks k players preferring those with the lowest
+// coverage count, breaking ties uniformly at random.
+func leastCoveredSubset(coverage []int, k int, rng *rand.Rand) Coalition {
+	n := len(coverage)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	sort.SliceStable(order, func(a, b int) bool {
+		return coverage[order[a]] < coverage[order[b]]
+	})
+	var c Coalition
+	for _, i := range order[:k] {
+		c = c.With(i)
+	}
+	return c
+}
+
+// RandomPermutation returns a uniform-random permutation of 0..n-1.
+func RandomPermutation(n int, rng *rand.Rand) []int {
+	p := rng.Perm(n)
+	return p
+}
+
+// ForEachPermutation enumerates all n! permutations of 0..n-1 via Heap's
+// algorithm, calling fn with each. fn must not retain the slice. Panics for
+// n > 12 (479M permutations) to guard against infeasible loops.
+func ForEachPermutation(n int, fn func([]int)) {
+	if n > 12 {
+		panic("combin: ForEachPermutation over more than 12 players is infeasible")
+	}
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			fn(p)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				p[i], p[k-1] = p[k-1], p[i]
+			} else {
+				p[0], p[k-1] = p[k-1], p[0]
+			}
+		}
+	}
+	if n == 0 {
+		fn(p)
+		return
+	}
+	rec(n)
+}

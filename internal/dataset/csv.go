@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// CSV ingestion so real tabular data can be valued from the CLI: one row
+// per sample, numeric feature columns, and the class label in the last
+// column (integer in [0, numClasses)). A header row is auto-detected (any
+// non-numeric first row is skipped).
+
+// ReadCSV parses a dataset from CSV. numClasses 0 infers the class count
+// as max(label)+1.
+func ReadCSV(name string, r io.Reader, numClasses int) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validate ourselves for a better message
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv: no rows")
+	}
+	// Header detection: first row with any unparsable cell is a header.
+	start := 0
+	if !allNumeric(records[0]) {
+		start = 1
+	}
+	rows := records[start:]
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: csv: header only, no data rows")
+	}
+	width := len(rows[0])
+	if width < 2 {
+		return nil, fmt.Errorf("dataset: csv: need at least one feature and a label column")
+	}
+	dim := width - 1
+
+	d := New(name, len(rows), dim, numClasses)
+	maxLabel := 0
+	for i, rec := range rows {
+		if len(rec) != width {
+			return nil, fmt.Errorf("dataset: csv row %d has %d fields, want %d", start+i+1, len(rec), width)
+		}
+		row := d.X.Row(i)
+		for j := 0; j < dim; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv row %d col %d: %w", start+i+1, j+1, err)
+			}
+			row[j] = v
+		}
+		label, err := strconv.Atoi(rec[dim])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d label: %w", start+i+1, err)
+		}
+		if label < 0 {
+			return nil, fmt.Errorf("dataset: csv row %d: negative label %d", start+i+1, label)
+		}
+		d.Y[i] = label
+		if label > maxLabel {
+			maxLabel = label
+		}
+	}
+	if numClasses == 0 {
+		d.NumClasses = maxLabel + 1
+	} else if maxLabel >= numClasses {
+		return nil, fmt.Errorf("dataset: csv label %d outside %d classes", maxLabel, numClasses)
+	}
+	return d, nil
+}
+
+// LoadCSV reads a dataset from a CSV file.
+func LoadCSV(path string, numClasses int) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: csv: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(path, f, numClasses)
+}
+
+// WriteCSV emits the dataset in the same format ReadCSV accepts.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, d.Dim()+1)
+	for i := 0; i < d.Len(); i++ {
+		row := d.X.Row(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[d.Dim()] = strconv.Itoa(d.Y[i])
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: csv write: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func allNumeric(rec []string) bool {
+	for _, cell := range rec {
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"os"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVWithHeader(t *testing.T) {
+	src := "f1,f2,label\n1.5,2.0,0\n-0.5,3,1\n"
+	d, err := ReadCSV("t", strings.NewReader(src), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Dim() != 2 {
+		t.Fatalf("shape %dx%d", d.Len(), d.Dim())
+	}
+	if d.NumClasses != 2 {
+		t.Errorf("inferred classes = %d", d.NumClasses)
+	}
+	if d.X.At(0, 0) != 1.5 || d.Y[1] != 1 {
+		t.Errorf("content wrong")
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	src := "1,2,0\n3,4,1\n"
+	d, err := ReadCSV("t", strings.NewReader(src), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Errorf("len = %d", d.Len())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"header only":   "a,b,label\n",
+		"ragged":        "1,2,0\n1,2,3,0\n",
+		"bad feature":   "1,x,0\n",
+		"bad label":     "1,2,zebra\n",
+		"neg label":     "1,2,-1\n",
+		"label too big": "1,2,5\n",
+	}
+	for name, src := range cases {
+		classes := 0
+		if name == "label too big" {
+			classes = 2
+		}
+		if _, err := ReadCSV("t", strings.NewReader(src), classes); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := ReadCSV("t", strings.NewReader("5\n"), 0); err == nil {
+		t.Errorf("single-column row accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := SynthImages(DefaultSynthImages(15, 9))
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("t", &buf, d.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Dim() != d.Dim() {
+		t.Fatalf("shape lost")
+	}
+	for i := range d.X.Data {
+		if back.X.Data[i] != d.X.Data[i] {
+			t.Fatalf("value %d lost precision", i)
+		}
+	}
+	for i := range d.Y {
+		if back.Y[i] != d.Y[i] {
+			t.Fatalf("label %d lost", i)
+		}
+	}
+}
+
+func TestLoadCSVFile(t *testing.T) {
+	path := t.TempDir() + "/d.csv"
+	d := SynthImages(DefaultSynthImages(10, 11))
+	f, err := createFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := LoadCSV(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 10 {
+		t.Errorf("len = %d", back.Len())
+	}
+	if _, err := LoadCSV(path+"-missing", 0); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}
+
+func createFile(path string) (*os.File, error) { return os.Create(path) }

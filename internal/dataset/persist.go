@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"fedshap/internal/tensor"
+)
+
+// Dataset persistence via gob, so federated partitions used in a valuation
+// can be archived alongside the value report for auditability.
+
+// datasetFile is the gob wire form.
+type datasetFile struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+	Y          []int
+	NumClasses int
+	ImageW     int
+	ImageH     int
+	Version    int
+}
+
+const datasetVersion = 1
+
+// Write serialises the dataset to w.
+func (d *Dataset) Write(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(datasetFile{
+		Name: d.Name,
+		Rows: d.Len(), Cols: d.Dim(),
+		Data:       d.X.Data,
+		Y:          d.Y,
+		NumClasses: d.NumClasses,
+		ImageW:     d.ImageW, ImageH: d.ImageH,
+		Version: datasetVersion,
+	})
+}
+
+// Read parses a dataset previously serialised with Write.
+func Read(r io.Reader) (*Dataset, error) {
+	var f datasetFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	if f.Version != datasetVersion {
+		return nil, fmt.Errorf("dataset: unsupported version %d", f.Version)
+	}
+	if len(f.Data) != f.Rows*f.Cols || len(f.Y) != f.Rows {
+		return nil, fmt.Errorf("dataset: corrupt payload: %d data for %dx%d, %d labels",
+			len(f.Data), f.Rows, f.Cols, len(f.Y))
+	}
+	d := &Dataset{
+		Name:       f.Name,
+		X:          &tensor.Matrix{Rows: f.Rows, Cols: f.Cols, Data: f.Data},
+		Y:          f.Y,
+		NumClasses: f.NumClasses,
+		ImageW:     f.ImageW,
+		ImageH:     f.ImageH,
+	}
+	return d, nil
+}
+
+// Save writes the dataset to a file.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	defer f.Close()
+	return d.Write(f)
+}
+
+// Load reads a dataset from a file.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

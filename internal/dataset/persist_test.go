@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDatasetWriteReadRoundTrip(t *testing.T) {
+	d := SynthImages(DefaultSynthImages(40, 3))
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || back.Len() != d.Len() || back.Dim() != d.Dim() {
+		t.Fatalf("metadata lost: %q %dx%d", back.Name, back.Len(), back.Dim())
+	}
+	if back.NumClasses != d.NumClasses || back.ImageW != d.ImageW || back.ImageH != d.ImageH {
+		t.Errorf("schema lost")
+	}
+	for i := range d.X.Data {
+		if back.X.Data[i] != d.X.Data[i] {
+			t.Fatalf("pixel %d lost", i)
+		}
+	}
+	for i := range d.Y {
+		if back.Y[i] != d.Y[i] {
+			t.Fatalf("label %d lost", i)
+		}
+	}
+}
+
+func TestDatasetSaveLoadFile(t *testing.T) {
+	d := SynthImages(DefaultSynthImages(20, 5))
+	path := t.TempDir() + "/d.gob"
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 20 {
+		t.Errorf("len = %d", back.Len())
+	}
+}
+
+func TestDatasetReadRejectsCorrupt(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Errorf("garbage accepted")
+	}
+	// Inconsistent payload: declare 5 rows but ship 1 label.
+	var buf bytes.Buffer
+	d := New("bad", 2, 2, 2)
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-stream.
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Errorf("truncated stream accepted")
+	}
+}
+
+func TestEmptyDatasetRoundTrip(t *testing.T) {
+	d := New("empty", 0, 4, 3)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 || back.Dim() != 4 || back.NumClasses != 3 {
+		t.Errorf("empty round trip lost schema: %d %d %d", back.Len(), back.Dim(), back.NumClasses)
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "test",
+		XLabel: "γ",
+		YLabel: "error",
+		Series: []Series{
+			{Name: "ipss", X: []float64{1, 2, 3}, Y: []float64{0.5, 0.1, 0.01}},
+			{Name: "tmc", X: []float64{1, 2, 3}, Y: []float64{0.9, 0.5, 0.2}},
+		},
+		LogY: true,
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"-- test --", "a = ipss", "b = tmc", "log10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartRenderEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "no finite points") {
+		t.Errorf("empty chart should say so")
+	}
+}
+
+func TestChartSkipsNonPositiveOnLog(t *testing.T) {
+	c := &Chart{
+		Title:  "log",
+		Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{0, -1}}},
+		LogY:   true,
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "no finite points") {
+		t.Errorf("non-positive values should be dropped on log axis")
+	}
+}
+
+func TestChartFromRows(t *testing.T) {
+	rows := [][]string{
+		{"MLP", "8", "IPSS", "0.5436", "0.02"},
+		{"MLP", "16", "IPSS", "0.0768", "0.001"},
+		{"MLP", "8", "TMC", "1.3851", "0.2"},
+		{"MLP", "notanumber", "TMC", "1.0", "0.2"},
+	}
+	c := ChartFromRows("f7", rows, 2, 1, 3, "γ", "err", true)
+	if len(c.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(c.Series))
+	}
+	// Sorted order: IPSS before TMC.
+	if c.Series[0].Name != "IPSS" || len(c.Series[0].X) != 2 {
+		t.Errorf("series[0] = %+v", c.Series[0])
+	}
+	if len(c.Series[1].X) != 1 {
+		t.Errorf("unparsable row not skipped: %+v", c.Series[1])
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "a = IPSS") {
+		t.Errorf("legend missing")
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fedshap/internal/combin"
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+func TestLinRegProblemOracle(t *testing.T) {
+	p := NewLinRegProblem(DefaultLinRegProblem(5))
+	o := p.Oracle()
+	// More data → higher utility (less negative MSE), on average.
+	uEmpty := o.U(combin.Empty)
+	uFull := o.U(combin.FullCoalition(5))
+	if uFull <= uEmpty {
+		t.Errorf("U(N)=%v should beat U(∅)=%v", uFull, uEmpty)
+	}
+	// Utility is negative MSE: never positive.
+	if uFull > 0 {
+		t.Errorf("negative-MSE utility is positive: %v", uFull)
+	}
+}
+
+func TestLemmaOneCloseToClosedForm(t *testing.T) {
+	rep := LemmaOne(DefaultLinRegProblem(1), 8)
+	gap, err := strconv.ParseFloat(rep.Rows[2][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The closed form is asymptotic; finite samples land within ~15%.
+	if gap > 0.15 {
+		t.Errorf("Lemma 1 relative gap %v, want < 0.15\n%v", gap, rep.Rows)
+	}
+}
+
+func TestTheoremThreeMeanGapWithinBound(t *testing.T) {
+	rep := TheoremThree(DefaultLinRegProblem(2), 6)
+	for _, row := range rep.Rows {
+		k := row[0]
+		meanGap, _ := strconv.ParseFloat(row[1], 64)
+		bound, _ := strconv.ParseFloat(row[3], 64)
+		// Expectation bound with slack for finite-draw averaging.
+		if meanGap > 2*bound+0.01 {
+			t.Errorf("k*=%s: mean gap %v far above bound %v", k, meanGap, bound)
+		}
+	}
+	// The bound column must decrease in k*.
+	prev := 1e18
+	for _, row := range rep.Rows {
+		b, _ := strconv.ParseFloat(row[3], 64)
+		if b > prev {
+			t.Errorf("bound not decreasing: %v after %v", b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestTheoremThreeReportShape(t *testing.T) {
+	cfg := DefaultLinRegProblem(3)
+	rep := TheoremThree(cfg, 1)
+	if len(rep.Rows) != cfg.N {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), cfg.N)
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last[1] != "0.0000" || last[2] != "0.0000" {
+		t.Errorf("k*=n should have zero error: %v", last)
+	}
+	_ = fmt.Sprintf("%v", rep)
+}

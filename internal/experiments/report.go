@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Report is a rendered experiment: a titled table of rows, directly
+// comparable to the corresponding table/figure of the paper.
+type Report struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the report as CSV for downstream plotting.
+func (r *Report) RenderCSV(w io.Writer) {
+	writeCSVRow(w, r.Header)
+	for _, row := range r.Rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	quoted := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		quoted[i] = c
+	}
+	fmt.Fprintln(w, strings.Join(quoted, ","))
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtSecs renders a time like the paper's Time(s) cells, switching to
+// scientific notation for extrapolated astronomic entries.
+func fmtSecs(s float64) string {
+	switch {
+	case math.IsNaN(s):
+		return "-"
+	case s >= 1e5:
+		return fmt.Sprintf("%.1e", s)
+	case s >= 10:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 0.01:
+		return fmt.Sprintf("%.3f", s)
+	default:
+		return fmt.Sprintf("%.5f", s)
+	}
+}
+
+// fmtErr renders an Error(l2) cell; exact methods show "-" and
+// not-applicable cells show "\" as in the paper.
+func fmtErr(e float64, notApplicable bool) string {
+	if notApplicable {
+		return `\`
+	}
+	if math.IsNaN(e) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", e)
+}

@@ -1,0 +1,322 @@
+// Package flnet runs the federated training loop over a real network
+// transport. The paper's implementation simulates cross-silo data providers
+// as separate processes talking gRPC; this package reproduces that substrate
+// with stdlib networking: each client runs in its own goroutine behind a
+// net.Conn (an in-memory pipe or a real TCP loopback socket) and exchanges
+// gob-encoded parameter messages with the coordinator.
+//
+// Training is bit-identical to the in-process engine (fl.Train) given the
+// same Config — the transport changes the plumbing, not the math — which
+// the package tests assert. Valuation experiments use the in-process engine
+// for speed; this package exists so the distributed code path is exercised
+// and available.
+package flnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+
+	"fedshap/internal/dataset"
+	"fedshap/internal/fl"
+	"fedshap/internal/model"
+	"fedshap/internal/tensor"
+)
+
+// Transport selects how coordinator and clients are wired together.
+type Transport int
+
+const (
+	// Pipe uses synchronous in-memory net.Pipe connections.
+	Pipe Transport = iota
+	// TCP uses real loopback TCP sockets.
+	TCP
+)
+
+// globalMsg is the coordinator → client broadcast for one round.
+type globalMsg struct {
+	Round  int
+	Params []float64
+	// Done tells the client to exit instead of training.
+	Done bool
+}
+
+// updateMsg is the client → coordinator reply.
+type updateMsg struct {
+	Client int
+	Round  int
+	Delta  []float64
+}
+
+// Train runs federated training across networked clients and returns the
+// final model. Only parametric models can be trained over the wire (tree
+// ensembles ship no parameter vector); Fitter models return an error.
+func Train(factory model.Factory, clients []*dataset.Dataset, cfg fl.Config, transport Transport) (model.Model, error) {
+	probe := factory(cfg.Seed)
+	global, ok := probe.(model.Parametric)
+	if !ok {
+		return nil, fmt.Errorf("flnet: model %T is not parametric; networked FedAvg needs parameter vectors", probe)
+	}
+
+	n := len(clients)
+	weights := fedAvgWeights(clients, cfg.WeightBySize)
+	anyData := false
+	for _, w := range weights {
+		if w > 0 {
+			anyData = true
+		}
+	}
+	if !anyData {
+		return global, nil
+	}
+
+	conns, cleanup, err := dial(n, transport)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	// Launch client workers.
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if weights[i] == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(id int, conn net.Conn) {
+			defer wg.Done()
+			clientLoop(id, conn, clients[id], factory, cfg)
+		}(i, conns[i].client)
+	}
+
+	params := global.Params()
+	encs := make([]*gob.Encoder, n)
+	decs := make([]*gob.Decoder, n)
+	for i := range conns {
+		if weights[i] == 0 {
+			continue
+		}
+		encs[i] = gob.NewEncoder(conns[i].server)
+		decs[i] = gob.NewDecoder(conns[i].server)
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		// Broadcast the global model.
+		for i := 0; i < n; i++ {
+			if weights[i] == 0 {
+				continue
+			}
+			if err := encs[i].Encode(globalMsg{Round: round, Params: params}); err != nil {
+				return nil, fmt.Errorf("flnet: broadcast to client %d: %w", i, err)
+			}
+		}
+		// Collect updates; order of arrival varies, so gather then apply
+		// in client order for determinism.
+		updates := make([][]float64, n)
+		type recv struct {
+			msg updateMsg
+			err error
+			id  int
+		}
+		ch := make(chan recv, n)
+		for i := 0; i < n; i++ {
+			if weights[i] == 0 {
+				continue
+			}
+			go func(id int) {
+				var m updateMsg
+				err := decs[id].Decode(&m)
+				ch <- recv{m, err, id}
+			}(i)
+		}
+		for i := 0; i < n; i++ {
+			if weights[i] == 0 {
+				continue
+			}
+			r := <-ch
+			if r.err != nil {
+				return nil, fmt.Errorf("flnet: receive from client %d: %w", r.id, r.err)
+			}
+			if r.msg.Round != round {
+				return nil, fmt.Errorf("flnet: client %d answered round %d during round %d", r.id, r.msg.Round, round)
+			}
+			updates[r.msg.Client] = r.msg.Delta
+		}
+		// Deterministic aggregation in client-index order.
+		agg := tensor.NewVector(len(params))
+		for i := 0; i < n; i++ {
+			if updates[i] == nil {
+				continue
+			}
+			agg.AddScaled(weights[i], tensor.Vector(updates[i]))
+		}
+		tensor.Vector(params).AddScaled(1, agg)
+	}
+	// Tell clients to exit.
+	for i := 0; i < n; i++ {
+		if weights[i] == 0 {
+			continue
+		}
+		_ = encs[i].Encode(globalMsg{Done: true})
+	}
+	wg.Wait()
+
+	global.SetParams(params)
+	return global, nil
+}
+
+// clientLoop is the data provider's side: receive global parameters, train
+// locally, send back the delta.
+func clientLoop(id int, conn net.Conn, ds *dataset.Dataset, factory model.Factory, cfg fl.Config) {
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	local := factory(cfg.Seed).(model.Parametric)
+	for {
+		var g globalMsg
+		if err := dec.Decode(&g); err != nil {
+			return
+		}
+		if g.Done {
+			return
+		}
+		params := tensor.Vector(g.Params)
+		local.SetParams(params)
+		// Same per-client, per-round seeding as the in-process engine so
+		// the transports agree bit for bit.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(g.Round)*1009 + int64(id)*9176))
+		for e := 0; e < cfg.LocalEpochs; e++ {
+			local.TrainEpoch(ds, cfg.LR, rng)
+		}
+		delta := local.Params()
+		delta.AddScaled(-1, params)
+		if cfg.Algorithm == fl.FedProx && cfg.ProxMu > 0 {
+			delta.Scale(1 / (1 + cfg.ProxMu))
+		}
+		if err := enc.Encode(updateMsg{Client: id, Round: g.Round, Delta: delta}); err != nil {
+			return
+		}
+	}
+}
+
+// connPair holds both ends of one coordinator↔client link.
+type connPair struct {
+	server net.Conn
+	client net.Conn
+}
+
+// dial wires up n links over the chosen transport.
+func dial(n int, transport Transport) ([]connPair, func(), error) {
+	pairs := make([]connPair, n)
+	var closers []func()
+	cleanup := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	switch transport {
+	case Pipe:
+		for i := 0; i < n; i++ {
+			s, c := net.Pipe()
+			pairs[i] = connPair{server: s, client: c}
+			closers = append(closers, func() { s.Close(); c.Close() })
+		}
+		return pairs, cleanup, nil
+	case TCP:
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, cleanup, fmt.Errorf("flnet: listen: %w", err)
+		}
+		closers = append(closers, func() { ln.Close() })
+
+		type accepted struct {
+			conn net.Conn
+			err  error
+		}
+		acceptCh := make(chan accepted, n)
+		go func() {
+			for i := 0; i < n; i++ {
+				conn, err := ln.Accept()
+				acceptCh <- accepted{conn, err}
+			}
+		}()
+		var dialed []net.Conn
+		for i := 0; i < n; i++ {
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				cleanup()
+				return nil, func() {}, fmt.Errorf("flnet: dial: %w", err)
+			}
+			dialed = append(dialed, conn)
+			closers = append(closers, func() { conn.Close() })
+		}
+		// Pair accepted connections with dialers by a handshake byte so
+		// ordering is well-defined.
+		serverSide := make([]net.Conn, n)
+		for i := 0; i < n; i++ {
+			if _, err := dialed[i].Write([]byte{byte(i)}); err != nil {
+				cleanup()
+				return nil, func() {}, fmt.Errorf("flnet: handshake write: %w", err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			a := <-acceptCh
+			if a.err != nil {
+				cleanup()
+				return nil, func() {}, fmt.Errorf("flnet: accept: %w", a.err)
+			}
+			buf := make([]byte, 1)
+			if _, err := a.conn.Read(buf); err != nil {
+				cleanup()
+				return nil, func() {}, fmt.Errorf("flnet: handshake read: %w", err)
+			}
+			serverSide[int(buf[0])] = a.conn
+			closers = append(closers, func() { a.conn.Close() })
+		}
+		for i := 0; i < n; i++ {
+			pairs[i] = connPair{server: serverSide[i], client: dialed[i]}
+		}
+		return pairs, cleanup, nil
+	default:
+		return nil, cleanup, fmt.Errorf("flnet: unknown transport %d", transport)
+	}
+}
+
+// fedAvgWeights mirrors the in-process engine's weighting.
+func fedAvgWeights(clients []*dataset.Dataset, bySize bool) []float64 {
+	w := make([]float64, len(clients))
+	var total float64
+	for i, ds := range clients {
+		if ds == nil || ds.Len() == 0 {
+			continue
+		}
+		if bySize {
+			w[i] = float64(ds.Len())
+		} else {
+			w[i] = 1
+		}
+		total += w[i]
+	}
+	if total > 0 {
+		for i := range w {
+			w[i] /= total
+		}
+	}
+	return w
+}
+
+// sortedClientIDs returns the participating client ids in order (exported
+// for tests of deterministic aggregation).
+func sortedClientIDs(weights []float64) []int {
+	var ids []int
+	for i, w := range weights {
+		if w > 0 {
+			ids = append(ids, i)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}

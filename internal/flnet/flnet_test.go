@@ -1,0 +1,138 @@
+package flnet
+
+import (
+	"math"
+	"testing"
+
+	"fedshap/internal/dataset"
+	"fedshap/internal/fl"
+	"fedshap/internal/model"
+)
+
+func femClients(n, per int, seed int64) ([]*dataset.Dataset, *dataset.Dataset) {
+	cfg := dataset.DefaultFEMNISTLike(n, per, seed)
+	cfg.Classes = 4
+	return dataset.FEMNISTLike(cfg)
+}
+
+func mlpFactory(dim, classes int) model.Factory {
+	return func(seed int64) model.Model { return model.NewMLP(dim, 8, classes, seed) }
+}
+
+// The networked engine must agree bit-for-bit with the in-process engine on
+// both transports — the transport changes plumbing, not math.
+func TestNetworkedMatchesInProcess(t *testing.T) {
+	clients, _ := femClients(3, 30, 1)
+	cfg := fl.Config{Rounds: 3, LocalEpochs: 1, LR: 0.05, Seed: 7, WeightBySize: true}
+	f := mlpFactory(clients[0].Dim(), 4)
+	want := fl.Train(f, clients, cfg).(model.Parametric).Params()
+
+	for _, tr := range []Transport{Pipe, TCP} {
+		got, err := Train(f, clients, cfg, tr)
+		if err != nil {
+			t.Fatalf("transport %d: %v", tr, err)
+		}
+		g := got.(model.Parametric).Params()
+		for i := range want {
+			if math.Abs(g[i]-want[i]) > 1e-12 {
+				t.Fatalf("transport %d deviates from in-process at param %d: %v vs %v",
+					tr, i, g[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNetworkedFedProxMatchesInProcess(t *testing.T) {
+	clients, _ := femClients(3, 25, 2)
+	cfg := fl.Config{
+		Algorithm: fl.FedProx, ProxMu: 0.5,
+		Rounds: 2, LocalEpochs: 1, LR: 0.05, Seed: 9, WeightBySize: true,
+	}
+	f := mlpFactory(clients[0].Dim(), 4)
+	want := fl.Train(f, clients, cfg).(model.Parametric).Params()
+	got, err := Train(f, clients, cfg, Pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(model.Parametric).Params()
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Fatalf("FedProx over pipe deviates at param %d", i)
+		}
+	}
+}
+
+func TestNetworkedSkipsEmptyClients(t *testing.T) {
+	clients, test := femClients(3, 40, 3)
+	clients[1] = clients[1].Empty("rider")
+	cfg := fl.Config{Rounds: 2, LocalEpochs: 1, LR: 0.05, Seed: 7, WeightBySize: true}
+	f := mlpFactory(clients[0].Dim(), 4)
+	m, err := Train(f, clients, cfg, Pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := model.Accuracy(m, test); acc < 0.4 {
+		t.Errorf("accuracy with empty client %v", acc)
+	}
+	// Must equal the in-process result on the same inputs.
+	want := fl.Train(f, clients, cfg).(model.Parametric).Params()
+	got := m.(model.Parametric).Params()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("deviation at param %d", i)
+		}
+	}
+}
+
+func TestNetworkedAllEmptyReturnsInit(t *testing.T) {
+	clients, _ := femClients(2, 10, 4)
+	empty := []*dataset.Dataset{clients[0].Empty("a"), clients[1].Empty("b")}
+	cfg := fl.DefaultConfig(5)
+	f := mlpFactory(clients[0].Dim(), 4)
+	m, err := Train(f, empty, cfg, Pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := f(cfg.Seed).(model.Parametric).Params()
+	got := m.(model.Parametric).Params()
+	for i := range init {
+		if got[i] != init[i] {
+			t.Fatalf("all-empty federation changed parameters")
+		}
+	}
+}
+
+func TestNetworkedRejectsFitterModels(t *testing.T) {
+	clients, _ := femClients(2, 10, 5)
+	f := func(seed int64) model.Model { return model.NewXGB(4, model.DefaultXGBConfig(), seed) }
+	if _, err := Train(f, clients, fl.DefaultConfig(1), Pipe); err == nil {
+		t.Errorf("tree model over the wire should be rejected")
+	}
+}
+
+func TestSortedClientIDs(t *testing.T) {
+	ids := sortedClientIDs([]float64{0.5, 0, 0.5})
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestManyClientsTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP fan-out in short mode")
+	}
+	clients, _ := femClients(8, 15, 6)
+	cfg := fl.Config{Rounds: 2, LocalEpochs: 1, LR: 0.05, Seed: 11, WeightBySize: true}
+	f := mlpFactory(clients[0].Dim(), 4)
+	want := fl.Train(f, clients, cfg).(model.Parametric).Params()
+	got, err := Train(f, clients, cfg, TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(model.Parametric).Params()
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Fatalf("8-client TCP deviates at param %d", i)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package model
+
+import (
+	"math/rand"
+
+	"fedshap/internal/dataset"
+	"fedshap/internal/tensor"
+)
+
+// LogReg is multinomial logistic (softmax) regression trained by SGD on
+// cross-entropy. With one hidden layer removed it is the cheapest
+// classifier in the suite and the workhorse of fast unit tests.
+type LogReg struct {
+	W       *tensor.Matrix // classes × features
+	B       tensor.Vector  // classes
+	Classes int
+	Dim     int
+
+	scratch tensor.Vector
+}
+
+// NewLogReg returns a softmax regressor with Xavier-initialised weights.
+func NewLogReg(dim, classes int, seed int64) *LogReg {
+	rng := rand.New(rand.NewSource(seed))
+	m := &LogReg{
+		W:       tensor.NewMatrix(classes, dim),
+		B:       tensor.NewVector(classes),
+		Classes: classes,
+		Dim:     dim,
+		scratch: tensor.NewVector(classes),
+	}
+	m.W.XavierInit(rng)
+	return m
+}
+
+// Score returns the class probabilities for x.
+func (m *LogReg) Score(x tensor.Vector) tensor.Vector {
+	logits := m.W.MulVec(x, nil)
+	for c := range logits {
+		logits[c] += m.B[c]
+	}
+	return tensor.Softmax(logits, logits)
+}
+
+// Clone returns a deep copy.
+func (m *LogReg) Clone() Model {
+	return &LogReg{
+		W: m.W.Clone(), B: m.B.Clone(),
+		Classes: m.Classes, Dim: m.Dim,
+		scratch: tensor.NewVector(m.Classes),
+	}
+}
+
+// NumParams returns classes*(dim+1).
+func (m *LogReg) NumParams() int { return m.Classes*m.Dim + m.Classes }
+
+// Params returns the flattened [W, B].
+func (m *LogReg) Params() tensor.Vector {
+	p := make(tensor.Vector, 0, m.NumParams())
+	p = append(p, m.W.Data...)
+	p = append(p, m.B...)
+	return p
+}
+
+// SetParams restores parameters from a flat vector.
+func (m *LogReg) SetParams(p tensor.Vector) {
+	if len(p) != m.NumParams() {
+		panic("model: LogReg.SetParams length mismatch")
+	}
+	copy(m.W.Data, p[:len(m.W.Data)])
+	copy(m.B, p[len(m.W.Data):])
+}
+
+// TrainEpoch runs one epoch of per-sample SGD on softmax cross-entropy.
+func (m *LogReg) TrainEpoch(ds *dataset.Dataset, lr float64, rng *rand.Rand) {
+	for _, i := range rng.Perm(ds.Len()) {
+		x := ds.X.Row(i)
+		probs := m.W.MulVec(x, m.scratch)
+		for c := range probs {
+			probs[c] += m.B[c]
+		}
+		tensor.Softmax(probs, probs)
+		y := ds.Y[i]
+		// Gradient of CE wrt logits: p - onehot(y).
+		for c := 0; c < m.Classes; c++ {
+			g := probs[c]
+			if c == y {
+				g -= 1
+			}
+			if g == 0 {
+				continue
+			}
+			m.B[c] -= lr * g
+			row := m.W.Row(c)
+			row.AddScaled(-lr*g, x)
+		}
+	}
+}

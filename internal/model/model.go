@@ -1,0 +1,105 @@
+// Package model implements the learning models used in the paper's
+// evaluation — linear regression, logistic (softmax) regression, a
+// multi-layer perceptron, a small convolutional network, and
+// gradient-boosted trees (the XGB stand-in) — each trained from scratch
+// with stdlib-only code.
+//
+// Two training styles exist, mirroring how the paper's FL substrate treats
+// them:
+//
+//   - Parametric models expose a flat parameter vector and per-epoch SGD,
+//     which is what FedAvg aggregates and what the gradient-based valuation
+//     baselines (OR, λ-MR, GTG-Shapley) reconstruct from.
+//   - Fitter models (gradient-boosted trees) train holistically on a
+//     dataset; federated boosting on shared histograms is equivalent to
+//     fitting the merged coalition data, so the FL engine trains them
+//     centrally and the gradient-based baselines are not applicable — the
+//     "\" entries of the paper's Table V.
+package model
+
+import (
+	"math/rand"
+
+	"fedshap/internal/dataset"
+	"fedshap/internal/tensor"
+)
+
+// Model is anything that can score a sample. For classifiers Score returns
+// per-class scores (argmax = prediction); for regressors it returns a
+// single-element vector.
+type Model interface {
+	// Score returns the model output for one sample.
+	Score(x tensor.Vector) tensor.Vector
+	// Clone returns an independent deep copy.
+	Clone() Model
+}
+
+// Parametric is a model trained by gradient steps over a flat parameter
+// vector, suitable for FedAvg aggregation.
+type Parametric interface {
+	Model
+	// Params returns a copy of the flattened trainable parameters.
+	Params() tensor.Vector
+	// SetParams overwrites the trainable parameters from a flat vector.
+	SetParams(p tensor.Vector)
+	// NumParams returns the parameter count.
+	NumParams() int
+	// TrainEpoch runs one epoch of SGD on ds with the given learning rate.
+	TrainEpoch(ds *dataset.Dataset, lr float64, rng *rand.Rand)
+}
+
+// Fitter is a model trained holistically (tree ensembles).
+type Fitter interface {
+	Model
+	// Fit trains the model on the dataset from scratch.
+	Fit(ds *dataset.Dataset)
+}
+
+// Factory constructs a freshly initialised model. Valuation trains one model
+// per dataset coalition, so construction must be cheap and deterministic in
+// the seed.
+type Factory func(seed int64) Model
+
+// Accuracy returns the fraction of samples whose argmax score matches the
+// label — the paper's default utility function U(·). An empty test set
+// yields 0.
+func Accuracy(m Model, ds *dataset.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < ds.Len(); i++ {
+		if m.Score(ds.X.Row(i)).ArgMax() == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// NegMSE returns the negative mean squared error of a regressor against
+// float-valued labels (Y reinterpreted as real targets) — the utility used
+// in the paper's linear-regression theory (Lemma 1).
+func NegMSE(m Model, ds *dataset.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < ds.Len(); i++ {
+		diff := m.Score(ds.X.Row(i))[0] - float64(ds.Y[i])
+		sum += diff * diff
+	}
+	return -sum / float64(ds.Len())
+}
+
+// NegMSEFloat is NegMSE for real-valued targets supplied separately.
+func NegMSEFloat(m Model, X *tensor.Matrix, y []float64) float64 {
+	if X.Rows == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < X.Rows; i++ {
+		diff := m.Score(X.Row(i))[0] - y[i]
+		sum += diff * diff
+	}
+	return -sum / float64(X.Rows)
+}

@@ -1,0 +1,270 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedshap/internal/dataset"
+	"fedshap/internal/tensor"
+)
+
+// trainingSet builds a small, learnable classification task.
+func trainingSet(samples int, seed int64) (*dataset.Dataset, *dataset.Dataset) {
+	cfg := dataset.DefaultSynthImages(samples, seed)
+	cfg.Classes = 4
+	cfg.NoiseStd = 0.25
+	d := dataset.SynthImages(cfg)
+	rng := rand.New(rand.NewSource(seed))
+	return d.Split(0.75, rng)
+}
+
+func trainEpochs(m Parametric, ds *dataset.Dataset, epochs int, lr float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for e := 0; e < epochs; e++ {
+		m.TrainEpoch(ds, lr, rng)
+	}
+}
+
+func TestLogRegLearns(t *testing.T) {
+	train, test := trainingSet(400, 1)
+	m := NewLogReg(train.Dim(), train.NumClasses, 7)
+	before := Accuracy(m, test)
+	trainEpochs(m, train, 5, 0.05, 2)
+	after := Accuracy(m, test)
+	if after < 0.8 {
+		t.Errorf("LogReg accuracy %v (was %v), want > 0.8", after, before)
+	}
+	if after <= before {
+		t.Errorf("training did not improve accuracy: %v -> %v", before, after)
+	}
+}
+
+func TestMLPLearns(t *testing.T) {
+	train, test := trainingSet(400, 3)
+	m := NewMLP(train.Dim(), 16, train.NumClasses, 7)
+	trainEpochs(m, train, 6, 0.05, 2)
+	if acc := Accuracy(m, test); acc < 0.8 {
+		t.Errorf("MLP accuracy %v, want > 0.8", acc)
+	}
+}
+
+func TestCNNLearns(t *testing.T) {
+	train, test := trainingSet(300, 5)
+	m := NewCNN(10, 10, 4, train.NumClasses, 7)
+	trainEpochs(m, train, 6, 0.03, 2)
+	if acc := Accuracy(m, test); acc < 0.7 {
+		t.Errorf("CNN accuracy %v, want > 0.7", acc)
+	}
+}
+
+func TestXGBLearns(t *testing.T) {
+	train, test := trainingSet(400, 9)
+	m := NewXGB(train.NumClasses, DefaultXGBConfig(), 7)
+	m.Fit(train)
+	if acc := Accuracy(m, test); acc < 0.8 {
+		t.Errorf("XGB accuracy %v, want > 0.8", acc)
+	}
+	if m.NumTrees() != m.Rounds*m.Classes {
+		t.Errorf("NumTrees = %d, want %d", m.NumTrees(), m.Rounds*m.Classes)
+	}
+}
+
+func TestXGBBinaryTabular(t *testing.T) {
+	d, _ := dataset.AdultLike(dataset.DefaultAdultLike(600, 11))
+	rng := rand.New(rand.NewSource(1))
+	train, test := d.Split(0.8, rng)
+	m := NewXGB(2, DefaultXGBConfig(), 3)
+	m.Fit(train)
+	if acc := Accuracy(m, test); acc < 0.7 {
+		t.Errorf("XGB tabular accuracy %v, want > 0.7", acc)
+	}
+}
+
+func TestXGBEmptyFit(t *testing.T) {
+	m := NewXGB(2, DefaultXGBConfig(), 1)
+	m.Fit(dataset.New("empty", 0, 3, 2))
+	// Untrained model must still score (uniform probabilities).
+	p := m.Score(tensor.Vector{1, 2, 3})
+	if math.Abs(p[0]-0.5) > 1e-9 {
+		t.Errorf("empty-fit XGB probability %v, want 0.5", p[0])
+	}
+}
+
+func TestLinRegSGDConverges(t *testing.T) {
+	// y = 2x0 - 3x1 + 1, exactly learnable.
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	X := tensor.NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X.Set(i, 0, rng.NormFloat64())
+		X.Set(i, 1, rng.NormFloat64())
+		y[i] = 2*X.At(i, 0) - 3*X.At(i, 1) + 1
+	}
+	m := NewLinReg(2)
+	for e := 0; e < 50; e++ {
+		m.TrainEpochFloat(X, y, 0.05, rng)
+	}
+	if math.Abs(m.W[0]-2) > 0.1 || math.Abs(m.W[1]+3) > 0.1 || math.Abs(m.B-1) > 0.1 {
+		t.Errorf("SGD fit w=%v b=%v, want [2,-3], 1", m.W, m.B)
+	}
+}
+
+func TestLinRegOLSExact(t *testing.T) {
+	// OLS on noiseless data recovers coefficients near-exactly.
+	rng := rand.New(rand.NewSource(2))
+	n, d := 50, 3
+	X := tensor.NewMatrix(n, d)
+	y := make([]float64, n)
+	w := []float64{1.5, -2, 0.5}
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < d; j++ {
+			v := rng.NormFloat64()
+			X.Set(i, j, v)
+			s += w[j] * v
+		}
+		y[i] = s + 0.7
+	}
+	m := NewLinReg(d)
+	m.FitOLS(X, y, 1e-9)
+	for j := range w {
+		if math.Abs(m.W[j]-w[j]) > 1e-6 {
+			t.Errorf("OLS w[%d] = %v, want %v", j, m.W[j], w[j])
+		}
+	}
+	if math.Abs(m.B-0.7) > 1e-6 {
+		t.Errorf("OLS intercept = %v, want 0.7", m.B)
+	}
+}
+
+func TestNegMSE(t *testing.T) {
+	m := NewLinReg(1)
+	m.W[0] = 1 // predicts y = x
+	ds := dataset.New("d", 2, 1, 2)
+	ds.X.Set(0, 0, 1)
+	ds.Y[0] = 1 // error 0
+	ds.X.Set(1, 0, 0)
+	ds.Y[1] = 2 // error 2 → sq 4
+	if got := NegMSE(m, ds); math.Abs(got+2) > 1e-12 {
+		t.Errorf("NegMSE = %v, want -2", got)
+	}
+}
+
+func TestAccuracyEmptySet(t *testing.T) {
+	m := NewLogReg(3, 2, 1)
+	if got := Accuracy(m, dataset.New("e", 0, 3, 2)); got != 0 {
+		t.Errorf("Accuracy on empty = %v", got)
+	}
+}
+
+// Params/SetParams round-trips for every parametric model.
+func TestParamsRoundTrip(t *testing.T) {
+	models := map[string]func() Parametric{
+		"linreg": func() Parametric { return NewLinReg(5) },
+		"logreg": func() Parametric { return NewLogReg(5, 3, 1) },
+		"mlp":    func() Parametric { return NewMLP(5, 4, 3, 1) },
+		"cnn":    func() Parametric { return NewCNN(6, 6, 2, 3, 1) },
+	}
+	for name, mk := range models {
+		t.Run(name, func(t *testing.T) {
+			m := mk()
+			p := m.Params()
+			if len(p) != m.NumParams() {
+				t.Fatalf("Params len %d != NumParams %d", len(p), m.NumParams())
+			}
+			// Perturb, restore, compare.
+			q := p.Clone()
+			for i := range q {
+				q[i] = float64(i) * 0.01
+			}
+			m.SetParams(q)
+			got := m.Params()
+			for i := range q {
+				if got[i] != q[i] {
+					t.Fatalf("round trip mismatch at %d: %v != %v", i, got[i], q[i])
+				}
+			}
+		})
+	}
+}
+
+// SetParams fully determines Score: two models with the same parameters give
+// identical outputs (the property FedAvg and gradient reconstruction rely
+// on).
+func TestParamsDetermineScore(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := NewMLP(6, 5, 3, seedA)
+		b := NewMLP(6, 5, 3, seedB)
+		b.SetParams(a.Params())
+		x := tensor.Vector{0.1, -0.2, 0.3, 0.5, -0.9, 0.01}
+		sa, sb := a.Score(x), b.Score(x)
+		for i := range sa {
+			if math.Abs(sa[i]-sb[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMLP(4, 3, 2, 1)
+	c := m.Clone().(*MLP)
+	c.W1.Data[0] += 5
+	if m.W1.Data[0] == c.W1.Data[0] {
+		t.Errorf("Clone shares W1 storage")
+	}
+}
+
+func TestCNNCloneIsDeep(t *testing.T) {
+	m := NewCNN(6, 6, 2, 3, 1)
+	c := m.Clone().(*CNN)
+	c.K.Data[0] += 5
+	if m.K.Data[0] == c.K.Data[0] {
+		t.Errorf("CNN Clone shares kernel storage")
+	}
+}
+
+func TestScoreIsProbability(t *testing.T) {
+	train, _ := trainingSet(100, 13)
+	models := []Model{
+		NewLogReg(train.Dim(), train.NumClasses, 1),
+		NewMLP(train.Dim(), 8, train.NumClasses, 1),
+		NewCNN(10, 10, 2, train.NumClasses, 1),
+	}
+	x := train.X.Row(0)
+	for _, m := range models {
+		p := m.Score(x)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Errorf("%T produced probability %v", m, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%T probabilities sum to %v", m, sum)
+		}
+	}
+}
+
+func TestTrainingDeterminism(t *testing.T) {
+	train, _ := trainingSet(150, 17)
+	run := func() tensor.Vector {
+		m := NewMLP(train.Dim(), 8, train.NumClasses, 7)
+		trainEpochs(m, train, 2, 0.05, 3)
+		return m.Params()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("identical seeds diverged at param %d", i)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"fedshap/internal/dataset"
+	"fedshap/internal/tensor"
+)
+
+// Edge behaviour of the tree substrate: degenerate label distributions,
+// unsplittable features, and regularisation effects.
+
+func TestXGBConstantLabels(t *testing.T) {
+	d := dataset.New("const", 50, 3, 2)
+	for i := 0; i < d.Len(); i++ {
+		d.X.Set(i, 0, float64(i))
+		d.Y[i] = 1 // every sample positive
+	}
+	m := NewXGB(2, DefaultXGBConfig(), 1)
+	m.Fit(d)
+	// Prediction must be class 1 everywhere.
+	for i := 0; i < d.Len(); i++ {
+		if m.Score(d.X.Row(i)).ArgMax() != 1 {
+			t.Fatalf("constant-label model mispredicts row %d", i)
+		}
+	}
+}
+
+func TestXGBConstantFeatures(t *testing.T) {
+	// All features identical: no split possible; the model must fall back
+	// to leaf-only trees predicting the majority class.
+	d := dataset.New("flat", 60, 2, 2)
+	for i := 0; i < d.Len(); i++ {
+		d.X.Set(i, 0, 1)
+		d.X.Set(i, 1, 2)
+		if i < 45 {
+			d.Y[i] = 0
+		} else {
+			d.Y[i] = 1
+		}
+	}
+	m := NewXGB(2, DefaultXGBConfig(), 1)
+	m.Fit(d)
+	if m.Score(tensor.Vector{1, 2}).ArgMax() != 0 {
+		t.Errorf("majority class not predicted on unsplittable data")
+	}
+}
+
+func TestXGBMinChildRespected(t *testing.T) {
+	// With MinChild = 10 and 12 samples, at most one split can happen and
+	// children must hold >= 10... which is impossible for 12 samples
+	// (10+10 > 12), so trees must be single leaves.
+	cfg := DefaultXGBConfig()
+	cfg.MinChild = 10
+	cfg.Rounds = 2
+	d := dataset.New("small", 12, 1, 2)
+	for i := 0; i < d.Len(); i++ {
+		d.X.Set(i, 0, float64(i))
+		d.Y[i] = i % 2
+	}
+	m := NewXGB(2, cfg, 1)
+	m.Fit(d)
+	for _, round := range m.trees {
+		for _, tree := range round {
+			if len(tree.nodes) != 1 {
+				t.Fatalf("tree has %d nodes; MinChild should force a leaf", len(tree.nodes))
+			}
+			if tree.nodes[0].feature != -1 {
+				t.Fatalf("single node is not a leaf")
+			}
+		}
+	}
+}
+
+func TestXGBLambdaShrinksLeaves(t *testing.T) {
+	mk := func(lambda float64) float64 {
+		cfg := DefaultXGBConfig()
+		cfg.Lambda = lambda
+		cfg.Rounds = 1
+		cfg.Depth = 1
+		d := dataset.New("d", 40, 1, 2)
+		for i := 0; i < d.Len(); i++ {
+			d.X.Set(i, 0, float64(i))
+			if i < 20 {
+				d.Y[i] = 0
+			} else {
+				d.Y[i] = 1
+			}
+		}
+		m := NewXGB(2, cfg, 1)
+		m.Fit(d)
+		// Magnitude of the first tree's most extreme leaf.
+		var maxAbs float64
+		for _, nd := range m.trees[0][0].nodes {
+			if nd.feature == -1 && math.Abs(nd.value) > maxAbs {
+				maxAbs = math.Abs(nd.value)
+			}
+		}
+		return maxAbs
+	}
+	if small, big := mk(0.1), mk(10); big >= small {
+		t.Errorf("larger lambda should shrink leaves: λ=0.1 → %v, λ=10 → %v", small, big)
+	}
+}
+
+func TestCNNMinimumImageSize(t *testing.T) {
+	// 3×3 images are the minimum for a 3×3 kernel; conv output is 1×1.
+	m := NewCNN(3, 3, 2, 2, 1)
+	x := make(tensor.Vector, 9)
+	p := m.Score(x)
+	if len(p) != 2 {
+		t.Fatalf("score len = %d", len(p))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("2x2 image should panic")
+		}
+	}()
+	NewCNN(2, 2, 1, 2, 1)
+}
+
+func TestCNNOddImageSizes(t *testing.T) {
+	// Odd conv output exercises the ceil pooling path.
+	cfg := dataset.SynthImagesConfig{
+		Samples: 60, Classes: 3, Width: 7, Height: 9,
+		NoiseStd: 0.2, Seed: 5, Sharpness: 1,
+	}
+	d := dataset.SynthImages(cfg)
+	m := NewCNN(7, 9, 2, 3, 1)
+	trainEpochs(m, d, 2, 0.05, 1)
+	if acc := Accuracy(m, d); acc < 0.4 {
+		t.Errorf("odd-size CNN training accuracy %v", acc)
+	}
+}
+
+func TestLogRegSingleClass(t *testing.T) {
+	// Degenerate single-class data must not NaN out.
+	d := dataset.New("one", 30, 2, 2)
+	for i := range d.Y {
+		d.Y[i] = 0
+		d.X.Set(i, 0, float64(i%5))
+	}
+	m := NewLogReg(2, 2, 1)
+	trainEpochs(m, d, 3, 0.1, 1)
+	p := m.Score(d.X.Row(0))
+	if math.IsNaN(p[0]) || p.ArgMax() != 0 {
+		t.Errorf("single-class logreg broken: %v", p)
+	}
+}

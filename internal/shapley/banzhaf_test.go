@@ -1,0 +1,96 @@
+package shapley
+
+import (
+	"math"
+	"testing"
+
+	"fedshap/internal/combin"
+	"fedshap/internal/metrics"
+	"fedshap/internal/utility"
+)
+
+func TestExactBanzhafNullPlayer(t *testing.T) {
+	n := 4
+	null := 1
+	table := make(map[combin.Coalition]float64)
+	combin.AllSubsets(n, func(s combin.Coalition) {
+		// Utility independent of the null player.
+		table[s] = float64(s.Without(null).Size())
+	})
+	ctx := NewContext(utility.TableOracle(n, table), 1)
+	phi := mustValues(t, ExactBanzhaf{}, ctx)
+	if phi[null] != 0 {
+		t.Errorf("null player Banzhaf value %v", phi[null])
+	}
+	for i := 0; i < n; i++ {
+		if i != null && math.Abs(phi[i]-1) > 1e-12 {
+			t.Errorf("client %d value %v, want 1 (unit marginal everywhere)", i, phi[i])
+		}
+	}
+}
+
+func TestExactBanzhafSymmetry(t *testing.T) {
+	// Symmetric game: utility = coalition size → all values equal 1.
+	n := 5
+	table := make(map[combin.Coalition]float64)
+	combin.AllSubsets(n, func(s combin.Coalition) { table[s] = float64(s.Size()) })
+	ctx := NewContext(utility.TableOracle(n, table), 1)
+	phi := mustValues(t, ExactBanzhaf{}, ctx)
+	for i, v := range phi {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("client %d Banzhaf %v, want 1", i, v)
+		}
+	}
+}
+
+// On additive games, Banzhaf equals Shapley (both recover each player's own
+// contribution).
+func TestBanzhafEqualsShapleyOnAdditiveGames(t *testing.T) {
+	n := 5
+	contrib := []float64{0.1, 0.25, 0.05, 0.4, 0.2}
+	table := make(map[combin.Coalition]float64)
+	combin.AllSubsets(n, func(s combin.Coalition) {
+		var sum float64
+		for _, i := range s.Members() {
+			sum += contrib[i]
+		}
+		table[s] = sum
+	})
+	o := utility.TableOracle(n, table)
+	shap := mustValues(t, ExactMC{}, NewContext(o, 1))
+	banz := mustValues(t, ExactBanzhaf{}, NewContext(o, 1))
+	for i := range contrib {
+		if math.Abs(shap[i]-contrib[i]) > 1e-12 || math.Abs(banz[i]-contrib[i]) > 1e-12 {
+			t.Errorf("client %d: shap %v banz %v want %v", i, shap[i], banz[i], contrib[i])
+		}
+	}
+}
+
+func TestMCBanzhafConverges(t *testing.T) {
+	n := 6
+	o := steepMonotoneGame(n, 51)
+	exact := mustValues(t, ExactBanzhaf{}, NewContext(o, 1))
+	approx := mustValues(t, NewMCBanzhaf(500), NewContext(steepMonotoneGame(n, 51), 2))
+	if err := metrics.L2RelativeError(approx, exact); err > 0.3 {
+		t.Errorf("MC-Banzhaf error %v, want < 0.3", err)
+	}
+}
+
+func TestMCBanzhafBudget(t *testing.T) {
+	o := monotoneGame(6, 53)
+	ctx := NewContext(o, 3)
+	mustValues(t, NewMCBanzhaf(30), ctx)
+	// Each draw evaluates at most two coalitions; bounded overshoot.
+	if got := ctx.Oracle.Evals(); got > 32 {
+		t.Errorf("evals = %d for budget 30", got)
+	}
+}
+
+func TestBanzhafNames(t *testing.T) {
+	if (ExactBanzhaf{}).Name() != "Banzhaf-exact" {
+		t.Errorf("bad name")
+	}
+	if NewMCBanzhaf(7).Name() != "Banzhaf-MC(γ=7)" {
+		t.Errorf("bad name")
+	}
+}

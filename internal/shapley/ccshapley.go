@@ -1,0 +1,78 @@
+package shapley
+
+import (
+	"fmt"
+
+	"fedshap/internal/combin"
+)
+
+// CCShapley is the paper's "CC-Shapley" baseline: Zhang et al.'s
+// complementary-contribution sampling (SIGMOD 2023). Each draw evaluates a
+// coalition S and its complement N\S; the single complementary contribution
+// U(S) − U(N\S) simultaneously informs every member of S (at stratum |S|)
+// and, negated, every member of N\S (at stratum n−|S|) — the scheme's
+// sample-efficiency trick. Values average per-stratum means, as in CC-SV.
+type CCShapley struct {
+	// Gamma is the evaluation budget (each draw costs up to two
+	// evaluations).
+	Gamma int
+}
+
+// NewCCShapley returns the baseline with budget γ.
+func NewCCShapley(gamma int) *CCShapley { return &CCShapley{Gamma: gamma} }
+
+// Name implements Valuer.
+func (a *CCShapley) Name() string { return fmt.Sprintf("CC-Shapley(γ=%d)", a.Gamma) }
+
+// Values implements Valuer.
+func (a *CCShapley) Values(ctx *Context) (Values, error) {
+	o := ctx.Oracle
+	n := o.N()
+	full := combin.FullCoalition(n)
+
+	// sums[i][k] accumulates complementary contributions of client i at
+	// stratum k (coalition size containing i); counts track sample counts.
+	sums := make([][]float64, n)
+	counts := make([][]int, n)
+	for i := range sums {
+		sums[i] = make([]float64, n+1)
+		counts[i] = make([]int, n+1)
+	}
+
+	draws := 0
+	for o.Evals() < a.Gamma || draws == 0 {
+		k := 1 + ctx.RNG.Intn(n) // coalition size 1..n
+		s := combin.RandomSubsetOfSize(n, k, ctx.RNG)
+		comp := full.Minus(s)
+		us := o.U(s)
+		uc := o.U(comp)
+		cc := us - uc
+		for _, i := range s.Members() {
+			sums[i][k] += cc
+			counts[i][k]++
+		}
+		ck := n - k
+		if ck > 0 {
+			for _, i := range comp.Members() {
+				sums[i][ck] += -cc
+				counts[i][ck]++
+			}
+		}
+		draws++
+		if draws >= 1<<20 || a.Gamma <= 0 {
+			break
+		}
+	}
+
+	phi := make(Values, n)
+	for i := 0; i < n; i++ {
+		var total float64
+		for k := 1; k <= n; k++ {
+			if counts[i][k] > 0 {
+				total += sums[i][k] / float64(counts[i][k])
+			}
+		}
+		phi[i] = total / float64(n)
+	}
+	return phi, nil
+}

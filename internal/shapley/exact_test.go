@@ -1,0 +1,222 @@
+package shapley
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedshap/internal/combin"
+	"fedshap/internal/utility"
+)
+
+// tableI is the paper's Table I: a three-client FL game whose exact Shapley
+// values the paper works out in Example 1 as φ ≈ (0.22, 0.32, 0.32).
+func tableI() *utility.Oracle {
+	u := map[combin.Coalition]float64{
+		combin.Empty:                0.10,
+		combin.NewCoalition(0):      0.50,
+		combin.NewCoalition(1):      0.70,
+		combin.NewCoalition(2):      0.60,
+		combin.NewCoalition(0, 1):   0.80,
+		combin.NewCoalition(0, 2):   0.90,
+		combin.NewCoalition(1, 2):   0.90,
+		combin.FullCoalition(3):     0.96,
+	}
+	return utility.TableOracle(3, u)
+}
+
+// randomGame builds a utility table over n players with uniform utilities.
+func randomGame(n int, seed int64) *utility.Oracle {
+	rng := rand.New(rand.NewSource(seed))
+	table := make(map[combin.Coalition]float64)
+	combin.AllSubsets(n, func(s combin.Coalition) {
+		table[s] = rng.Float64()
+	})
+	return utility.TableOracle(n, table)
+}
+
+// monotoneGame builds a utility table with diminishing returns in coalition
+// size, mimicking FL model accuracy.
+func monotoneGame(n int, seed int64) *utility.Oracle {
+	return monotoneGameRate(n, seed, 0.8)
+}
+
+// steepMonotoneGame saturates quickly — the regime the paper's key-
+// combinations phenomenon describes, where one or two clients' data already
+// bring the model near its ceiling.
+func steepMonotoneGame(n int, seed int64) *utility.Oracle {
+	return monotoneGameRate(n, seed, 2.2)
+}
+
+func monotoneGameRate(n int, seed int64, rate float64) *utility.Oracle {
+	rng := rand.New(rand.NewSource(seed))
+	quality := make([]float64, n)
+	for i := range quality {
+		quality[i] = 0.5 + rng.Float64()
+	}
+	table := make(map[combin.Coalition]float64)
+	combin.AllSubsets(n, func(s combin.Coalition) {
+		var mass float64
+		for _, i := range s.Members() {
+			mass += quality[i]
+		}
+		table[s] = 0.1 + 0.88*(1-math.Exp(-rate*mass))
+	})
+	return utility.TableOracle(n, table)
+}
+
+func mustValues(t *testing.T, v Valuer, ctx *Context) Values {
+	t.Helper()
+	out, err := v.Values(ctx)
+	if err != nil {
+		t.Fatalf("%s: %v", v.Name(), err)
+	}
+	return out
+}
+
+// TestExample1 reproduces the paper's Example 1 line by line.
+func TestExample1(t *testing.T) {
+	ctx := NewContext(tableI(), 1)
+	phi := mustValues(t, ExactMC{}, ctx)
+	// φ1 = (0.40/1 + (0.10+0.30)/2 + 0.06/1)/3 = 0.22 exactly.
+	if math.Abs(phi[0]-0.22) > 1e-12 {
+		t.Errorf("φ1 = %v, want 0.22", phi[0])
+	}
+	// Paper rounds φ2 ≈ 0.32, φ3 = 0.32; exact values:
+	// φ2 = (0.60/1 + (0.30+0.30)/2 + 0.06/1)/3 = 0.32
+	if math.Abs(phi[1]-0.32) > 1e-9 {
+		t.Errorf("φ2 = %v, want 0.32", phi[1])
+	}
+	if math.Abs(phi[2]-0.32) > 1e-9 {
+		t.Errorf("φ3 = %v, want 0.32", phi[2])
+	}
+	// Efficiency: Σφ = U(N) − U(∅) = 0.86.
+	if math.Abs(phi.Sum()-0.86) > 1e-12 {
+		t.Errorf("Σφ = %v, want 0.86", phi.Sum())
+	}
+}
+
+// The three exact schemes agree on arbitrary games — the equivalence of
+// Defs. 3-4 and the permutation formulation.
+func TestExactSchemesAgree(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%5) + 2 // 2..6
+		o := randomGame(n, seed)
+		ctx := NewContext(o, seed)
+		mc := mustValuesQuick(ExactMC{}, ctx)
+		cc := mustValuesQuick(ExactCC{}, ctx)
+		perm := mustValuesQuick(ExactPerm{}, ctx)
+		for i := 0; i < n; i++ {
+			if math.Abs(mc[i]-cc[i]) > 1e-9 || math.Abs(mc[i]-perm[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustValuesQuick(v Valuer, ctx *Context) Values {
+	out, err := v.Values(ctx)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Efficiency axiom: Σφᵢ = U(N) − U(∅) for any game.
+func TestEfficiencyAxiom(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		o := randomGame(n, seed)
+		ctx := NewContext(o, seed)
+		phi := mustValuesQuick(ExactMC{}, ctx)
+		want := o.U(combin.FullCoalition(n)) - o.U(combin.Empty)
+		return math.Abs(phi.Sum()-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Null player axiom: a player that never changes utility gets value zero.
+func TestNullPlayerAxiom(t *testing.T) {
+	n := 4
+	null := 2
+	rng := rand.New(rand.NewSource(5))
+	table := make(map[combin.Coalition]float64)
+	// Assign utilities to all null-free subsets, then copy to supersets
+	// including the null player.
+	combin.AllSubsets(n, func(s combin.Coalition) {
+		if !s.Has(null) {
+			table[s] = rng.Float64()
+		}
+	})
+	combin.AllSubsets(n, func(s combin.Coalition) {
+		if s.Has(null) {
+			table[s] = table[s.Without(null)]
+		}
+	})
+	ctx := NewContext(utility.TableOracle(n, table), 1)
+	for _, alg := range []Valuer{ExactMC{}, ExactCC{}, ExactPerm{}} {
+		phi := mustValues(t, alg, ctx)
+		if math.Abs(phi[null]) > 1e-12 {
+			t.Errorf("%s: null player value %v, want 0", alg.Name(), phi[null])
+		}
+	}
+}
+
+// Symmetry axiom: two interchangeable players receive equal values.
+func TestSymmetryAxiom(t *testing.T) {
+	n := 4
+	a, b := 1, 3
+	rng := rand.New(rand.NewSource(6))
+	table := make(map[combin.Coalition]float64)
+	// Utility depends only on (size, whether a present, whether b present)
+	// symmetrically: use count of {a,b} members plus identity of others.
+	combin.AllSubsets(n, func(s combin.Coalition) {
+		key := s.Without(a).Without(b)
+		cnt := 0
+		if s.Has(a) {
+			cnt++
+		}
+		if s.Has(b) {
+			cnt++
+		}
+		canonical := key
+		if cnt >= 1 {
+			canonical = canonical.With(a)
+		}
+		if cnt == 2 {
+			canonical = canonical.With(b)
+		}
+		if v, ok := table[canonical]; ok {
+			table[s] = v
+			return
+		}
+		v := rng.Float64()
+		table[canonical] = v
+		table[s] = v
+	})
+	ctx := NewContext(utility.TableOracle(n, table), 1)
+	phi := mustValues(t, ExactMC{}, ctx)
+	if math.Abs(phi[a]-phi[b]) > 1e-12 {
+		t.Errorf("symmetric players differ: %v vs %v", phi[a], phi[b])
+	}
+}
+
+func TestExactPermSmallestCases(t *testing.T) {
+	// n=1: the single player gets U({0}) − U(∅).
+	o := utility.TableOracle(1, map[combin.Coalition]float64{
+		combin.Empty:           0.2,
+		combin.NewCoalition(0): 0.9,
+	})
+	ctx := NewContext(o, 1)
+	phi := mustValues(t, ExactPerm{}, ctx)
+	if math.Abs(phi[0]-0.7) > 1e-12 {
+		t.Errorf("n=1 value = %v, want 0.7", phi[0])
+	}
+}

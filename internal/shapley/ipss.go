@@ -1,0 +1,138 @@
+package shapley
+
+import (
+	"fmt"
+
+	"fedshap/internal/combin"
+)
+
+// IPSS is the paper's contribution (Alg. 3, Importance-Pruned Stratified
+// Sampling). Given a sampling budget γ it:
+//
+//  1. computes k* = max{k : Σ_{j≤k} C(n,j) ≤ γ} and exhaustively evaluates
+//     every combination of size ≤ k* (lines 1-7) — the key combinations;
+//  2. spends the remaining budget on a balanced sample P of combinations of
+//     size k*+1, with equal per-client coverage so approximation error is
+//     fair across clients (lines 8-14, constraints (1)-(3));
+//  3. estimates each client's value by the truncated MC-SV plug-in sum over
+//     the evaluated combinations (lines 15-17).
+//
+// Combinations larger than k*+1 are pruned entirely: by the key-combinations
+// phenomenon their marginal utilities are small and their MC-SV coefficients
+// 1/C(n−1,|S|) are tiny, so the pruned mass is negligible (Theorem 3 bounds
+// the relative error by O((n−k*)/(k*·n·t))).
+type IPSS struct {
+	// Gamma is the total sampling budget γ (coalition evaluations).
+	Gamma int
+	// RescaleSampledStratum, when true, applies a Horvitz-Thompson
+	// correction to the partially sampled stratum k*+1: each sampled
+	// marginal is scaled by (number of size-k* subsets avoiding i) /
+	// (number sampled for i), making the stratum term an unbiased estimate
+	// of its full sum rather than the paper's plug-in partial sum. This is
+	// an ablation of the paper's design choice (DESIGN.md E-AB1), not part
+	// of Alg. 3.
+	RescaleSampledStratum bool
+	// UnbalancedP, when true, replaces the balanced sample of line 11
+	// (constraint (3): equal per-client coverage) with plain uniform
+	// sampling — the E-AB2 ablation.
+	UnbalancedP bool
+}
+
+// NewIPSS returns the paper-faithful algorithm with budget γ.
+func NewIPSS(gamma int) *IPSS { return &IPSS{Gamma: gamma} }
+
+// Name implements Valuer.
+func (a *IPSS) Name() string {
+	switch {
+	case a.RescaleSampledStratum:
+		return fmt.Sprintf("IPSS-rescaled(γ=%d)", a.Gamma)
+	case a.UnbalancedP:
+		return fmt.Sprintf("IPSS-unbalanced(γ=%d)", a.Gamma)
+	default:
+		return fmt.Sprintf("IPSS(γ=%d)", a.Gamma)
+	}
+}
+
+// Values implements Valuer, following Alg. 3.
+func (a *IPSS) Values(ctx *Context) (Values, error) {
+	o := ctx.Oracle
+	n := o.N()
+	gamma := a.Gamma
+	if gamma < 1 {
+		gamma = 1
+	}
+
+	// Line 1: k* = max{k | Σ_{j=0..k} C(n,j) <= γ}.
+	kstar := combin.MaxFullStratum(n, uint64(gamma))
+	if kstar < 0 {
+		kstar = 0 // degenerate budget: still evaluate the empty coalition
+	}
+
+	// Lines 2-7: exhaustively evaluate all combinations of size <= k*.
+	u := make(map[combin.Coalition]float64)
+	for size := 0; size <= kstar; size++ {
+		combin.SubsetsOfSize(n, size, func(s combin.Coalition) {
+			u[s] = o.U(s)
+		})
+	}
+
+	// Lines 8-11: sample P at size k*+1 within the remaining budget, with
+	// equal per-client coverage (constraint (3)) unless ablated.
+	remaining := gamma - int(combin.CumulativeBinomial(n, kstar))
+	var pset []combin.Coalition
+	if kstar+1 <= n && remaining > 0 {
+		if a.UnbalancedP {
+			pset = combin.SampleStratumWithoutReplacement(n, kstar+1, remaining, ctx.RNG)
+		} else {
+			pset = combin.BalancedStratumSample(n, kstar+1, remaining, ctx.RNG)
+		}
+	}
+	// Lines 12-14: evaluate the sampled combinations.
+	for _, s := range pset {
+		u[s] = o.U(s)
+	}
+
+	// Lines 15-17: truncated MC-SV plug-in estimate.
+	phi := make(Values, n)
+	for i := 0; i < n; i++ {
+		// Fully evaluated strata: S ⊆ N\{i}, |S| < k*; both S and S∪{i}
+		// have size <= k* and are in u.
+		for size := 0; size < kstar; size++ {
+			w := mcWeight(n, size)
+			combin.SubsetsOfSizeNotContaining(n, size, i, func(s combin.Coalition) {
+				phi[i] += w * (u[s.With(i)] - u[s])
+			})
+		}
+		// Sampled stratum: S of size k* with S∪{i} ∈ P. S itself is fully
+		// evaluated (size k*).
+		if len(pset) > 0 {
+			w := mcWeight(n, kstar)
+			var contrib float64
+			cnt := 0
+			for _, si := range pset {
+				if !si.Has(i) {
+					continue
+				}
+				s := si.Without(i)
+				contrib += u[si] - u[s]
+				cnt++
+			}
+			if a.RescaleSampledStratum && cnt > 0 {
+				// Unbiased stratum estimate: mean marginal × stratum size.
+				total := combin.Binomial(n-1, kstar)
+				contrib = contrib / float64(cnt) * total
+			}
+			phi[i] += w * contrib
+		}
+	}
+	return phi, nil
+}
+
+// KStar exposes the Alg. 3 line-1 computation for reporting and tests.
+func (a *IPSS) KStar(n int) int {
+	g := a.Gamma
+	if g < 1 {
+		g = 1
+	}
+	return combin.MaxFullStratum(n, uint64(g))
+}

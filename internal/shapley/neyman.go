@@ -1,0 +1,158 @@
+package shapley
+
+import (
+	"fmt"
+	"math"
+
+	"fedshap/internal/combin"
+)
+
+// StratifiedNeyman extends the unified framework (Alg. 1) with two-phase
+// variance-aware budget allocation, an extension the paper leaves open (it
+// "operates without imposing specific assumptions on the number of sampling
+// rounds m_k"). Phase one spends a pilot fraction of the budget uniformly
+// across strata to estimate each stratum's marginal-contribution variance;
+// phase two allocates the remainder proportionally to the estimated
+// standard deviations (Neyman allocation), so noisy strata get more
+// samples. Pairs are force-evaluated so every sample yields a live
+// marginal.
+type StratifiedNeyman struct {
+	// Gamma is the total evaluation budget.
+	Gamma int
+	// PilotFraction is the share of budget spent uniformly in phase one
+	// (default 0.3).
+	PilotFraction float64
+}
+
+// NewStratifiedNeyman returns the two-phase allocator with budget γ.
+func NewStratifiedNeyman(gamma int) *StratifiedNeyman {
+	return &StratifiedNeyman{Gamma: gamma}
+}
+
+// Name implements Valuer.
+func (a *StratifiedNeyman) Name() string {
+	return fmt.Sprintf("Stratified-Neyman(γ=%d)", a.Gamma)
+}
+
+// Values implements Valuer.
+func (a *StratifiedNeyman) Values(ctx *Context) (Values, error) {
+	o := ctx.Oracle
+	n := o.N()
+	gamma := a.Gamma
+	if gamma < 2 {
+		gamma = 2
+	}
+	pilotFrac := a.PilotFraction
+	if pilotFrac <= 0 || pilotFrac >= 1 {
+		pilotFrac = 0.3
+	}
+
+	// Each "sample" costs ~2 evaluations (S and its pair S\{i}); budget in
+	// samples per phase.
+	totalSamples := gamma / 2
+	pilot := int(float64(totalSamples) * pilotFrac)
+	if pilot < n {
+		pilot = min(totalSamples, n) // at least one pilot sample per stratum
+	}
+
+	// Per-stratum accumulators of marginal contributions for each client.
+	type accum struct {
+		sum, sumSq float64
+		count      int
+	}
+	strata := make([][]accum, n+1) // strata[k][i]
+	for k := 1; k <= n; k++ {
+		strata[k] = make([]accum, n)
+	}
+	// draw samples one marginal at a time: pick stratum k, sample S of
+	// size k, pick i ∈ S, evaluate U(S) − U(S\{i}).
+	drawInto := func(k int) {
+		s := combin.RandomSubsetOfSize(n, k, ctx.RNG)
+		members := s.Members()
+		i := members[ctx.RNG.Intn(len(members))]
+		d := o.U(s) - o.U(s.Without(i))
+		acc := &strata[k][i]
+		acc.sum += d
+		acc.sumSq += d * d
+		acc.count++
+	}
+
+	// Phase one: uniform pilot.
+	for t := 0; t < pilot; t++ {
+		k := 1 + t%n
+		drawInto(k)
+	}
+
+	// Estimate per-stratum std dev (pooled across clients).
+	stds := make([]float64, n+1)
+	var stdSum float64
+	for k := 1; k <= n; k++ {
+		var sum, sumSq float64
+		cnt := 0
+		for i := 0; i < n; i++ {
+			sum += strata[k][i].sum
+			sumSq += strata[k][i].sumSq
+			cnt += strata[k][i].count
+		}
+		if cnt > 1 {
+			mean := sum / float64(cnt)
+			v := sumSq/float64(cnt) - mean*mean
+			if v < 0 {
+				v = 0
+			}
+			stds[k] = math.Sqrt(v)
+		}
+		// Floor so no stratum starves entirely.
+		if stds[k] < 1e-6 {
+			stds[k] = 1e-6
+		}
+		stdSum += stds[k]
+	}
+
+	// Phase two: Neyman allocation of the remaining samples.
+	remaining := totalSamples - pilot
+	for k := 1; k <= n && remaining > 0; k++ {
+		share := int(math.Round(float64(remaining) * stds[k] / stdSum))
+		for t := 0; t < share && o.Evals() < gamma; t++ {
+			drawInto(k)
+		}
+	}
+
+	// Estimate: φ̂ᵢ = (1/n) Σ_k mean marginal of stratum k for client i.
+	// A (client, stratum) cell with no samples falls back to the stratum's
+	// pooled mean across clients — shrinkage that keeps the efficiency
+	// mass instead of silently zeroing the cell (which would bias every
+	// under-sampled client downward).
+	pooled := make([]float64, n+1)
+	for k := 1; k <= n; k++ {
+		var sum float64
+		cnt := 0
+		for i := 0; i < n; i++ {
+			sum += strata[k][i].sum
+			cnt += strata[k][i].count
+		}
+		if cnt > 0 {
+			pooled[k] = sum / float64(cnt)
+		}
+	}
+	phi := make(Values, n)
+	for i := 0; i < n; i++ {
+		var total float64
+		for k := 1; k <= n; k++ {
+			if c := strata[k][i].count; c > 0 {
+				total += strata[k][i].sum / float64(c)
+			} else {
+				total += pooled[k]
+			}
+		}
+		phi[i] = total / float64(n)
+	}
+	return phi, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

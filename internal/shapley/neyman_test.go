@@ -1,0 +1,72 @@
+package shapley
+
+import (
+	"math"
+	"testing"
+
+	"fedshap/internal/metrics"
+)
+
+func TestNeymanConverges(t *testing.T) {
+	n := 6
+	exact := mustValues(t, ExactMC{}, NewContext(steepMonotoneGame(n, 91), 1))
+	var sum float64
+	const reps = 15
+	for r := 0; r < reps; r++ {
+		phi := mustValues(t, NewStratifiedNeyman(64), NewContext(steepMonotoneGame(n, 91), int64(r)))
+		sum += metrics.L2RelativeError(phi, exact)
+	}
+	if avg := sum / reps; avg > 0.35 {
+		t.Errorf("Neyman error %v, want < 0.35", avg)
+	}
+}
+
+func TestNeymanRespectsBudgetApproximately(t *testing.T) {
+	n := 8
+	o := monotoneGame(n, 93)
+	ctx := NewContext(o, 2)
+	mustValues(t, NewStratifiedNeyman(40), ctx)
+	// Each draw costs at most 2 fresh evaluations; modest overshoot only
+	// from the pilot minimum.
+	if got := ctx.Oracle.Evals(); got > 40+2*n {
+		t.Errorf("evals = %d for γ=40", got)
+	}
+}
+
+func TestNeymanImprovesOnUniformAllocation(t *testing.T) {
+	// On games whose variance concentrates in the small strata, Neyman
+	// allocation should (weakly) beat the plain framework's even split at
+	// equal budget. Averaged over repetitions to damp luck.
+	n := 8
+	gamma := 40
+	exact := mustValues(t, ExactMC{}, NewContext(steepMonotoneGame(n, 95), 1))
+	avg := func(mk func() Valuer) float64 {
+		var sum float64
+		const reps = 25
+		for r := 0; r < reps; r++ {
+			phi := mustValues(t, mk(), NewContext(steepMonotoneGame(n, 95), int64(r*3+1)))
+			sum += metrics.L2RelativeError(phi, exact)
+		}
+		return sum / reps
+	}
+	neyman := avg(func() Valuer { return NewStratifiedNeyman(gamma) })
+	uniform := avg(func() Valuer { return NewStratified(MC, gamma) })
+	// Allow a small tolerance: the claim is "not worse", typically better.
+	if neyman > uniform*1.1 {
+		t.Errorf("Neyman %v notably worse than uniform %v", neyman, uniform)
+	}
+	t.Logf("neyman=%v uniform=%v", neyman, uniform)
+}
+
+func TestNeymanDegenerate(t *testing.T) {
+	o := monotoneGame(3, 97)
+	phi := mustValues(t, NewStratifiedNeyman(0), NewContext(o, 1))
+	for _, v := range phi {
+		if math.IsNaN(v) {
+			t.Errorf("NaN value on degenerate budget")
+		}
+	}
+	if got := NewStratifiedNeyman(16).Name(); got != "Stratified-Neyman(γ=16)" {
+		t.Errorf("Name = %q", got)
+	}
+}

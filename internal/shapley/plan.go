@@ -1,0 +1,67 @@
+package shapley
+
+import "fedshap/internal/combin"
+
+// Prefetchable is implemented by algorithms whose evaluation set is (partly)
+// known before sampling begins; the deterministic part can then be evaluated
+// concurrently (utility.Oracle.Prefetch) before the sequential valuation
+// pass.
+type Prefetchable interface {
+	// PrefetchPlan returns coalitions the algorithm will certainly
+	// evaluate for a federation of n clients.
+	PrefetchPlan(n int) []combin.Coalition
+}
+
+// PrefetchPlan returns the exhaustively evaluated strata of Alg. 3: every
+// coalition of size ≤ k*. The sampled stratum P is RNG-dependent and not
+// included.
+func (a *IPSS) PrefetchPlan(n int) []combin.Coalition {
+	kstar := a.KStar(n)
+	if kstar < 0 {
+		kstar = 0
+	}
+	var out []combin.Coalition
+	for size := 0; size <= kstar && size <= n; size++ {
+		combin.SubsetsOfSize(n, size, func(s combin.Coalition) { out = append(out, s) })
+	}
+	return out
+}
+
+// PrefetchPlan returns every coalition of size ≤ K (Alg. 2 evaluates all of
+// them).
+func (a *KGreedy) PrefetchPlan(n int) []combin.Coalition {
+	k := a.K
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	var out []combin.Coalition
+	for size := 0; size <= k; size++ {
+		combin.SubsetsOfSize(n, size, func(s combin.Coalition) { out = append(out, s) })
+	}
+	return out
+}
+
+// PrefetchPlan returns all 2ⁿ coalitions.
+func (ExactMC) PrefetchPlan(n int) []combin.Coalition {
+	out := make([]combin.Coalition, 0, 1<<uint(n))
+	combin.AllSubsets(n, func(s combin.Coalition) { out = append(out, s) })
+	return out
+}
+
+// PrefetchPlan returns all 2ⁿ coalitions.
+func (ExactCC) PrefetchPlan(n int) []combin.Coalition {
+	return ExactMC{}.PrefetchPlan(n)
+}
+
+// PrefetchPlan returns all 2ⁿ coalitions.
+func (ExactPerm) PrefetchPlan(n int) []combin.Coalition {
+	return ExactMC{}.PrefetchPlan(n)
+}
+
+// PrefetchPlan returns all 2ⁿ coalitions (Banzhaf enumerates them too).
+func (ExactBanzhaf) PrefetchPlan(n int) []combin.Coalition {
+	return ExactMC{}.PrefetchPlan(n)
+}

@@ -1,0 +1,82 @@
+// Package shapley implements SV-based data valuation for federated
+// learning: the exact MC-SV / CC-SV / permutation schemes (Defs. 3-4), the
+// paper's unified stratified sampling framework (Alg. 1), the K-Greedy probe
+// (Alg. 2), the IPSS contribution (Alg. 3), and the nine baselines the paper
+// evaluates against (DIG-FL, Extended-TMC, Extended-GTB, CC-Shapley, OR,
+// λ-MR, GTG-Shapley, plus the exact definitional methods).
+//
+// Every algorithm consumes coalition utilities through a utility.Source,
+// so budget accounting (distinct train+evaluate calls, the paper's γ) and
+// caching are uniform across methods.
+package shapley
+
+import (
+	"errors"
+	"math/rand"
+
+	"fedshap/internal/combin"
+	"fedshap/internal/utility"
+)
+
+// Values holds one data value per FL client.
+type Values []float64
+
+// Clone returns a copy.
+func (v Values) Clone() Values {
+	out := make(Values, len(v))
+	copy(out, v)
+	return out
+}
+
+// Sum returns Σᵢ φᵢ.
+func (v Values) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Context carries the inputs a valuation algorithm may need. Oracle is
+// always required. Spec is required only by the gradient-based baselines,
+// which train once with a trace and evaluate reconstructed models; it is nil
+// when the game exists only as a utility table.
+type Context struct {
+	Oracle utility.Source
+	Spec   *utility.FLSpec
+	RNG    *rand.Rand
+}
+
+// NewContext builds a Context with a deterministic RNG.
+func NewContext(o utility.Source, seed int64) *Context {
+	return &Context{Oracle: o, RNG: rand.New(rand.NewSource(seed))}
+}
+
+// WithSpec attaches the FL spec needed by gradient-based baselines.
+func (c *Context) WithSpec(spec *utility.FLSpec) *Context {
+	c.Spec = spec
+	return c
+}
+
+// Valuer estimates the data value of every client in the federation.
+type Valuer interface {
+	// Name returns the algorithm's display name.
+	Name() string
+	// Values computes the (possibly approximate) data values.
+	Values(ctx *Context) (Values, error)
+}
+
+// ErrNeedsSpec is returned by gradient-based baselines when no FL spec is
+// available (e.g. pure utility-table games).
+var ErrNeedsSpec = errors.New("shapley: algorithm requires an FL training spec")
+
+// ErrNotApplicable is returned when an algorithm cannot run on the given
+// model family — e.g. gradient-based baselines on tree ensembles, the "\"
+// cells of the paper's Table V.
+var ErrNotApplicable = errors.New("shapley: algorithm not applicable to this model")
+
+// mcWeight returns the MC-SV weight 1/(n·C(n-1, |S|)) for a coalition of
+// size s not containing the target client.
+func mcWeight(n, s int) float64 {
+	return 1.0 / (float64(n) * combin.Binomial(n-1, s))
+}

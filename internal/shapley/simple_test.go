@@ -1,0 +1,84 @@
+package shapley
+
+import (
+	"math"
+	"testing"
+
+	"fedshap/internal/combin"
+	"fedshap/internal/metrics"
+	"fedshap/internal/utility"
+)
+
+func TestLeaveOneOutBasics(t *testing.T) {
+	o := tableI()
+	phi := mustValues(t, LeaveOneOut{}, NewContext(o, 1))
+	// φ1 = U(N) − U({2,3}) = 0.96 − 0.90 = 0.06 etc.
+	want := Values{0.06, 0.06, 0.16}
+	for i := range want {
+		if math.Abs(phi[i]-want[i]) > 1e-12 {
+			t.Errorf("client %d: %v, want %v", i, phi[i], want[i])
+		}
+	}
+	// n+1 evaluations.
+	fresh := tableI()
+	ctx := NewContext(fresh, 1)
+	mustValues(t, LeaveOneOut{}, ctx)
+	if got := fresh.Evals(); got != 4 {
+		t.Errorf("evals = %d, want 4", got)
+	}
+}
+
+func TestLeaveOneOutPunishesDuplicates(t *testing.T) {
+	// Additive game with two identical players 0,1 that are perfect
+	// substitutes: U(S) = 1 if S contains 0 or 1, plus 0.5 if it has 2.
+	n := 3
+	table := make(map[combin.Coalition]float64)
+	combin.AllSubsets(n, func(s combin.Coalition) {
+		v := 0.0
+		if s.Has(0) || s.Has(1) {
+			v = 1
+		}
+		if s.Has(2) {
+			v += 0.5
+		}
+		table[s] = v
+	})
+	o := utility.TableOracle(n, table)
+	loo := mustValues(t, LeaveOneOut{}, NewContext(o, 1))
+	if loo[0] != 0 || loo[1] != 0 {
+		t.Errorf("LOO should zero out perfect substitutes: %v", loo)
+	}
+	// Shapley splits the shared value instead.
+	shap := mustValues(t, ExactMC{}, NewContext(o, 1))
+	if shap[0] <= 0 || math.Abs(shap[0]-shap[1]) > 1e-12 {
+		t.Errorf("Shapley should split substitutes evenly: %v", shap)
+	}
+}
+
+func TestPermSamplingUnbiasedConvergence(t *testing.T) {
+	n := 6
+	exact := mustValues(t, ExactMC{}, NewContext(steepMonotoneGame(n, 61), 1))
+	phi := mustValues(t, NewPermSampling(64), NewContext(steepMonotoneGame(n, 61), 3))
+	if err := metrics.L2RelativeError(phi, exact); err > 0.35 {
+		t.Errorf("Perm-MC error %v, want < 0.35", err)
+	}
+}
+
+func TestPermSamplingBudget(t *testing.T) {
+	o := monotoneGame(8, 63)
+	ctx := NewContext(o, 5)
+	mustValues(t, NewPermSampling(25), ctx)
+	// Overshoot bounded by one permutation.
+	if got := ctx.Oracle.Evals(); got > 25+8 {
+		t.Errorf("evals = %d for budget 25", got)
+	}
+}
+
+func TestSimpleNames(t *testing.T) {
+	if (LeaveOneOut{}).Name() != "Leave-One-Out" {
+		t.Errorf("bad LOO name")
+	}
+	if NewPermSampling(9).Name() != "Perm-MC(γ=9)" {
+		t.Errorf("bad Perm-MC name")
+	}
+}

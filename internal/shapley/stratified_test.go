@@ -1,0 +1,238 @@
+package shapley
+
+import (
+	"math"
+	"testing"
+
+	"fedshap/internal/combin"
+	"fedshap/internal/metrics"
+)
+
+// With the budget covering every combination, the stratified framework
+// recovers the exact Shapley value under both schemes.
+func TestStratifiedFullBudgetIsExact(t *testing.T) {
+	for _, scheme := range []Scheme{MC, CC} {
+		for n := 2; n <= 6; n++ {
+			o := monotoneGame(n, int64(n))
+			ctx := NewContext(o, 42)
+			exact := mustValues(t, ExactMC{}, NewContext(o, 1))
+			// Rounds per stratum = full stratum size.
+			rounds := make([]int, n)
+			for k := 1; k <= n; k++ {
+				rounds[k-1] = int(combin.BinomialInt(n, k))
+			}
+			alg := &Stratified{Scheme: scheme, RoundsPerStratum: rounds}
+			phi := mustValues(t, alg, ctx)
+			for i := range exact {
+				if math.Abs(phi[i]-exact[i]) > 1e-9 {
+					t.Errorf("%v n=%d: client %d got %v, want %v", scheme, n, i, phi[i], exact[i])
+				}
+			}
+		}
+	}
+}
+
+// Partial budgets give approximations that improve with more rounds.
+func TestStratifiedConvergesWithBudget(t *testing.T) {
+	n := 6
+	o := monotoneGame(n, 7)
+	exact := mustValues(t, ExactMC{}, NewContext(o, 1))
+
+	avgErr := func(gamma int) float64 {
+		var sum float64
+		const reps = 20
+		for r := 0; r < reps; r++ {
+			ctx := NewContext(o, int64(1000+r))
+			phi := mustValues(t, NewStratified(MC, gamma), ctx)
+			sum += metrics.L2RelativeError(phi, exact)
+		}
+		return sum / reps
+	}
+	small := avgErr(8)
+	large := avgErr(60)
+	if large >= small {
+		t.Errorf("error did not shrink with budget: γ=8 → %v, γ=60 → %v", small, large)
+	}
+}
+
+// The MC scheme pairs S with S\{i}; stratum k=1 must therefore anchor on
+// the empty coalition, as in the paper's Example 2 (φ̂₁,₁ = U({1}) − U(∅)).
+func TestStratifiedSizeOneUsesEmpty(t *testing.T) {
+	o := tableI()
+	// Sample only stratum 1 fully: every singleton evaluated.
+	alg := &Stratified{Scheme: MC, RoundsPerStratum: []int{3, 0, 0}}
+	ctx := NewContext(o, 1)
+	phi := mustValues(t, alg, ctx)
+	// φ̂ᵢ = (1/n)·(U({i}) − U(∅)): (0.4, 0.6, 0.5)/3.
+	want := Values{0.4 / 3, 0.6 / 3, 0.5 / 3}
+	for i := range want {
+		if math.Abs(phi[i]-want[i]) > 1e-12 {
+			t.Errorf("client %d: %v, want %v", i, phi[i], want[i])
+		}
+	}
+}
+
+// CC pairing requires the complement to be sampled; when a stratum's
+// complement stratum is not sampled, the stratum contributes zero, exactly
+// as the paper's Example 2 Case 2 (φ̂₁,₂ = 0).
+func TestStratifiedCCUnpairedStratumIsZero(t *testing.T) {
+	o := tableI()
+	// Sample stratum 1 (singletons); complements are pairs (stratum 2),
+	// which is unsampled, so everything should be zero except stratum
+	// pairing within... singleton {i} pairs with N\{i} of size 2: not
+	// sampled → all φ zero.
+	alg := &Stratified{Scheme: CC, RoundsPerStratum: []int{3, 0, 0}}
+	ctx := NewContext(o, 1)
+	phi := mustValues(t, alg, ctx)
+	for i, v := range phi {
+		if v != 0 {
+			t.Errorf("client %d: %v, want 0 (no pairs sampled)", i, v)
+		}
+	}
+	// Sampling strata 1 AND 2 fully creates the pairs.
+	alg2 := &Stratified{Scheme: CC, RoundsPerStratum: []int{3, 3, 0}}
+	phi2 := mustValues(t, alg2, NewContext(o, 1))
+	nonzero := false
+	for _, v := range phi2 {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Errorf("pairs sampled but all values zero")
+	}
+}
+
+// Unbiasedness (Theorem 1): the per-stratum estimate φ̂ᵢ,ₖ/mᵢ,ₖ is an
+// unbiased estimate of the stratum's true mean marginal contribution,
+// conditioned on at least one paired sample — the expectation Theorem 1
+// computes. We fix stratum k = 3 over n = 5 clients, fully sample stratum
+// k−1 so pairs are always available, partially sample stratum k, and check
+// that the across-run average of the stratum estimate matches the true
+// stratum mean.
+func TestStratifiedUnbiasedness(t *testing.T) {
+	n := 5
+	k := 3
+	client := 0
+	o := monotoneGame(n, 11)
+
+	// True stratum mean for the client: average marginal over all S∋i of
+	// size k against S\{i}.
+	var trueMean float64
+	cnt := 0
+	combin.SubsetsOfSize(n, k, func(s combin.Coalition) {
+		if !s.Has(client) {
+			return
+		}
+		trueMean += o.U(s) - o.U(s.Without(client))
+		cnt++
+	})
+	trueMean /= float64(cnt)
+
+	// The isolated stratum estimate equals n·φ̂ᵢ when only stratum k can
+	// form pairs (stratum k−1 fully sampled contributes nothing itself:
+	// its own pairs in stratum k−2 are unsampled).
+	rounds := make([]int, n)
+	rounds[k-2] = int(combin.BinomialInt(n, k-1)) // full stratum k−1
+	rounds[k-1] = 3                               // partial stratum k
+	const runs = 600
+	var sum float64
+	used := 0
+	for r := 0; r < runs; r++ {
+		ctx := NewContext(o, int64(r))
+		alg := &Stratified{Scheme: MC, RoundsPerStratum: rounds}
+		phi := mustValues(t, alg, ctx)
+		est := phi[client] * float64(n) // undo the 1/n averaging
+		if est != 0 {
+			sum += est
+			used++
+		}
+	}
+	if used == 0 {
+		t.Fatal("no run produced a paired sample")
+	}
+	got := sum / float64(used)
+	if math.Abs(got-trueMean) > 0.05*math.Abs(trueMean)+1e-3 {
+		t.Errorf("conditional stratum mean %v, want %v (over %d runs)", got, trueMean, used)
+	}
+}
+
+// Theorem 2's empirical shadow: under the same per-stratum budgets, the MC
+// scheme shows lower run-to-run variance than CC on monotone FL-like games.
+// The budget must be large enough that paired combinations are commonly
+// sampled (the ascending branch of the paper's Fig. 10 can invert the
+// ordering because sparse pairing degenerates estimates to a constant 0).
+func TestMCVarianceBelowCC(t *testing.T) {
+	n := 6
+	o := monotoneGame(n, 13)
+	const runs = 150
+	variance := func(scheme Scheme) float64 {
+		var all [][]float64
+		for r := 0; r < runs; r++ {
+			ctx := NewContext(o, int64(r*7+1))
+			alg := &Stratified{Scheme: scheme, TotalRounds: 48}
+			phi := mustValues(t, alg, ctx)
+			all = append(all, phi)
+		}
+		return metrics.VectorVariance(all)
+	}
+	vMC := variance(MC)
+	vCC := variance(CC)
+	if vMC > vCC {
+		t.Errorf("Var[MC]=%v exceeds Var[CC]=%v (Theorem 2 predicts otherwise)", vMC, vCC)
+	}
+}
+
+func TestStratifiedName(t *testing.T) {
+	if got := NewStratified(MC, 10).Name(); got != "Stratified(MC-SV)" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewStratified(CC, 10).Name(); got != "Stratified(CC-SV)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+// ForcePairs removes the pairing-sparsity degeneracy of the MC scheme
+// under tight budgets: a sampled S∋i rarely finds S\{i} among the samples,
+// so most strata degenerate to zero; forcing the pair evaluation produces
+// live estimates with lower error. (Empirically the CC scheme does *not*
+// benefit — its complements pair across strata in a way that plain Alg. 1
+// already exploits — so the assertion targets MC only.)
+func TestStratifiedForcePairsHelpsMC(t *testing.T) {
+	n := 6
+	exact := mustValues(t, ExactMC{}, NewContext(monotoneGame(n, 81), 1))
+
+	avgErr := func(force bool) float64 {
+		var sum float64
+		const reps = 25
+		for r := 0; r < reps; r++ {
+			alg := &Stratified{Scheme: MC, TotalRounds: 10, ForcePairs: force}
+			phi := mustValues(t, alg, NewContext(monotoneGame(n, 81), int64(r)))
+			sum += metrics.L2RelativeError(phi, exact)
+		}
+		return sum / reps
+	}
+	plain := avgErr(false)
+	forced := avgErr(true)
+	if forced >= plain {
+		t.Errorf("ForcePairs did not help MC: plain %v, forced %v", plain, forced)
+	}
+}
+
+// With forced pairs, the framework stays exact at full budget.
+func TestStratifiedForcePairsExactAtFullBudget(t *testing.T) {
+	n := 5
+	o := monotoneGame(n, 83)
+	exact := mustValues(t, ExactMC{}, NewContext(o, 1))
+	rounds := make([]int, n)
+	for k := 1; k <= n; k++ {
+		rounds[k-1] = int(combin.BinomialInt(n, k))
+	}
+	alg := &Stratified{Scheme: MC, RoundsPerStratum: rounds, ForcePairs: true}
+	phi := mustValues(t, alg, NewContext(o, 2))
+	for i := range exact {
+		if math.Abs(phi[i]-exact[i]) > 1e-9 {
+			t.Errorf("client %d: %v != %v", i, phi[i], exact[i])
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package tensor implements the dense linear algebra needed by the model
+// substrate: float64 vectors and row-major matrices with the handful of
+// BLAS-like kernels (matmul, rank-1 update, axpy) that neural-network
+// training requires, plus deterministic random initialisation.
+//
+// The package is deliberately small: valuation cost is dominated by how many
+// models are trained, not by peak FLOPS, so clarity wins over vectorisation
+// tricks.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector allocates a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the inner product v·w.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: Dot dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// AddScaled performs v += alpha * w (axpy).
+func (v Vector) AddScaled(alpha float64, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: AddScaled dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+}
+
+// Scale performs v *= alpha.
+func (v Vector) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm.
+func (v Vector) Norm2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Fill sets every element to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// ArgMax returns the index of the largest element (first on ties), or -1 for
+// an empty vector.
+func (v Vector) ArgMax() int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bi := v[0], 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > best {
+			best, bi = v[i], i
+		}
+	}
+	return bi
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes dst = M * v, allocating dst when nil.
+func (m *Matrix) MulVec(v Vector, dst Vector) Vector {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: MulVec dimension mismatch: cols=%d len(v)=%d", m.Cols, len(v)))
+	}
+	if dst == nil {
+		dst = NewVector(m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// MulVecT computes dst = Mᵀ * v, allocating dst when nil.
+func (m *Matrix) MulVecT(v Vector, dst Vector) Vector {
+	if len(v) != m.Rows {
+		panic(fmt.Sprintf("tensor: MulVecT dimension mismatch: rows=%d len(v)=%d", m.Rows, len(v)))
+	}
+	if dst == nil {
+		dst = NewVector(m.Cols)
+	} else {
+		dst.Fill(0)
+	}
+	for i := 0; i < m.Rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			dst[j] += x * vi
+		}
+	}
+	return dst
+}
+
+// AddOuterScaled performs M += alpha * u * vᵀ (rank-1 update).
+func (m *Matrix) AddOuterScaled(alpha float64, u, v Vector) {
+	if len(u) != m.Rows || len(v) != m.Cols {
+		panic("tensor: AddOuterScaled dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		au := alpha * u[i]
+		if au == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range v {
+			row[j] += au * x
+		}
+	}
+}
+
+// AddScaled performs M += alpha * W elementwise.
+func (m *Matrix) AddScaled(alpha float64, w *Matrix) {
+	if m.Rows != w.Rows || m.Cols != w.Cols {
+		panic("tensor: AddScaled matrix shape mismatch")
+	}
+	for i, x := range w.Data {
+		m.Data[i] += alpha * x
+	}
+}
+
+// Scale performs M *= alpha elementwise.
+func (m *Matrix) Scale(alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// XavierInit fills the matrix with Uniform(-a, a), a = sqrt(6/(fanIn+fanOut)),
+// the Glorot/Xavier scheme that keeps activations well-scaled at init.
+func (m *Matrix) XavierInit(rng *rand.Rand) {
+	a := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * a
+	}
+}
+
+// GaussianInit fills the matrix with N(0, std²).
+func (m *Matrix) GaussianInit(std float64, rng *rand.Rand) {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+}

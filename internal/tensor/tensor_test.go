@@ -1,0 +1,336 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorAddScaled(t *testing.T) {
+	v := Vector{1, 2}
+	v.AddScaled(2, Vector{10, 20})
+	if v[0] != 21 || v[1] != 42 {
+		t.Errorf("AddScaled gave %v", v)
+	}
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Errorf("Clone aliases original")
+	}
+}
+
+func TestVectorNorm2(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := (Vector{0.1, 0.9, 0.3}).ArgMax(); got != 1 {
+		t.Errorf("ArgMax = %d, want 1", got)
+	}
+	if got := (Vector{}).ArgMax(); got != -1 {
+		t.Errorf("ArgMax(empty) = %d, want -1", got)
+	}
+	// First index wins ties.
+	if got := (Vector{0.5, 0.5}).ArgMax(); got != 0 {
+		t.Errorf("ArgMax tie = %d, want 0", got)
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	got := m.MulVec(Vector{1, 1, 1}, nil)
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestMatrixMulVecT(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	got := m.MulVecT(Vector{1, 1}, nil)
+	want := Vector{5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MulVecT = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+// Mᵀ(Mv) dotted with v equals ‖Mv‖² — an algebraic identity tying MulVec
+// and MulVecT together.
+func TestMulVecAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := NewMatrix(rows, cols)
+		m.GaussianInit(1, rng)
+		v := NewVector(cols)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		mv := m.MulVec(v, nil)
+		mtmv := m.MulVecT(mv, nil)
+		lhs := mtmv.Dot(v)
+		rhs := mv.Dot(mv)
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddOuterScaled(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuterScaled(2, Vector{1, 2}, Vector{3, 4})
+	want := []float64{6, 8, 12, 16}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Errorf("AddOuterScaled = %v, want %v", m.Data, want)
+			break
+		}
+	}
+}
+
+func TestMatrixRowAliases(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Row(1)[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Errorf("Row should alias matrix storage")
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	out := Softmax(Vector{1, 2, 3}, nil)
+	var sum float64
+	for _, p := range out {
+		if p <= 0 || p >= 1 {
+			t.Errorf("softmax element %v out of (0,1)", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+	if !(out[2] > out[1] && out[1] > out[0]) {
+		t.Errorf("softmax should be monotone in logits: %v", out)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	out := Softmax(Vector{1000, 1001, 999}, nil)
+	var sum float64
+	for _, p := range out {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("softmax overflowed: %v", out)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax(large) sums to %v", sum)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	f := func(a, b, c float64, shift float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 50)
+		}
+		a, b, c, shift = clamp(a), clamp(b), clamp(c), clamp(shift)
+		p := Softmax(Vector{a, b, c}, nil)
+		q := Softmax(Vector{a + shift, b + shift, c + shift}, nil)
+		for i := range p {
+			if math.Abs(p[i]-q[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Sigmoid(0) = %v", got)
+	}
+	if got := Sigmoid(100); got < 0.999 {
+		t.Errorf("Sigmoid(100) = %v", got)
+	}
+	if got := Sigmoid(-100); got > 0.001 {
+		t.Errorf("Sigmoid(-100) = %v", got)
+	}
+	// Symmetry σ(-x) = 1-σ(x).
+	for _, x := range []float64{0.5, 1, 3, 10} {
+		if math.Abs(Sigmoid(-x)-(1-Sigmoid(x))) > 1e-12 {
+			t.Errorf("sigmoid symmetry violated at %v", x)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	if ReLU(-1) != 0 || ReLU(2) != 2 || ReLU(0) != 0 {
+		t.Errorf("ReLU misbehaves")
+	}
+}
+
+func TestCrossEntropy(t *testing.T) {
+	ce := CrossEntropy(Vector{0.25, 0.75}, 1)
+	if math.Abs(ce+math.Log(0.75)) > 1e-12 {
+		t.Errorf("CrossEntropy = %v", ce)
+	}
+	// Zero probability must not produce +Inf.
+	if v := CrossEntropy(Vector{1, 0}, 1); math.IsInf(v, 0) {
+		t.Errorf("CrossEntropy(0) = Inf")
+	}
+}
+
+func TestLogisticLossMatchesNaive(t *testing.T) {
+	for _, z := range []float64{-5, -1, 0, 1, 5} {
+		for _, y := range []float64{0, 1} {
+			p := Sigmoid(z)
+			naive := -(y*math.Log(p) + (1-y)*math.Log(1-p))
+			if got := LogisticLoss(z, y); math.Abs(got-naive) > 1e-9 {
+				t.Errorf("LogisticLoss(%v,%v) = %v, want %v", z, y, got, naive)
+			}
+		}
+	}
+}
+
+func TestClip(t *testing.T) {
+	if Clip(5, 2) != 2 || Clip(-5, 2) != -2 || Clip(1, 2) != 1 {
+		t.Errorf("Clip misbehaves")
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(10, 20)
+	m.XavierInit(rng)
+	bound := math.Sqrt(6.0 / 30.0)
+	for _, x := range m.Data {
+		if x < -bound || x > bound {
+			t.Fatalf("Xavier value %v outside ±%v", x, bound)
+		}
+	}
+	// Not all zero.
+	var s float64
+	for _, x := range m.Data {
+		s += math.Abs(x)
+	}
+	if s == 0 {
+		t.Errorf("Xavier init produced all zeros")
+	}
+}
+
+func TestVectorScaleFill(t *testing.T) {
+	v := Vector{1, 2, 3}
+	v.Scale(2)
+	if v[0] != 2 || v[2] != 6 {
+		t.Errorf("Scale gave %v", v)
+	}
+	v.Fill(7)
+	for _, x := range v {
+		if x != 7 {
+			t.Errorf("Fill gave %v", v)
+		}
+	}
+}
+
+func TestMatrixCloneAndScale(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 3)
+	c := m.Clone()
+	c.Scale(2)
+	if m.At(0, 1) != 3 || c.At(0, 1) != 6 {
+		t.Errorf("Clone/Scale broken: %v vs %v", m.At(0, 1), c.At(0, 1))
+	}
+}
+
+func TestMatrixAddScaled(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(2, 2)
+	b.Set(1, 1, 4)
+	a.AddScaled(0.5, b)
+	if a.At(1, 1) != 2 {
+		t.Errorf("AddScaled gave %v", a.At(1, 1))
+	}
+}
+
+func TestMatrixGaussianInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMatrix(20, 20)
+	m.GaussianInit(0.5, rng)
+	var mean, varsum float64
+	for _, x := range m.Data {
+		mean += x
+	}
+	mean /= float64(len(m.Data))
+	for _, x := range m.Data {
+		varsum += (x - mean) * (x - mean)
+	}
+	std := math.Sqrt(varsum / float64(len(m.Data)))
+	if math.Abs(mean) > 0.1 || math.Abs(std-0.5) > 0.1 {
+		t.Errorf("Gaussian init mean %v std %v", mean, std)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	check := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	v2, v3 := Vector{1, 2}, Vector{1, 2, 3}
+	m := NewMatrix(2, 3)
+	check("Dot", func() { v2.Dot(v3) })
+	check("AddScaled", func() { v2.AddScaled(1, v3) })
+	check("MulVec", func() { m.MulVec(v2, nil) })
+	check("MulVecT", func() { m.MulVecT(v3, nil) })
+	check("AddOuterScaled", func() { m.AddOuterScaled(1, v3, v3) })
+	check("Matrix.AddScaled", func() { m.AddScaled(1, NewMatrix(3, 2)) })
+	check("NewMatrix(-1,2)", func() { NewMatrix(-1, 2) })
+}
+
+func TestMulVecTZeroSkip(t *testing.T) {
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{1, 2, 3, 4})
+	// Zero weight on row 0 exercises the skip path.
+	got := m.MulVecT(Vector{0, 1}, nil)
+	if got[0] != 3 || got[1] != 4 {
+		t.Errorf("MulVecT = %v", got)
+	}
+}
+
+func TestAddOuterScaledZeroSkip(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuterScaled(1, Vector{0, 1}, Vector{5, 6})
+	if m.At(0, 0) != 0 || m.At(1, 0) != 5 || m.At(1, 1) != 6 {
+		t.Errorf("AddOuterScaled = %v", m.Data)
+	}
+}

@@ -1,0 +1,92 @@
+// Package theory implements the analytical model behind the paper's proofs:
+// the Donahue–Kleinberg expected-MSE law for linear regression (Eq. 12),
+// the closed-form expected data value of Lemma 1, the IPSS truncation-error
+// bound of Theorem 3, and the MC-vs-CC variance comparison of Theorem 2.
+// The theory tests validate these formulas against the empirical substrate.
+package theory
+
+import (
+	"math"
+
+	"fedshap/internal/combin"
+)
+
+// ExpectedMSE returns the Donahue–Kleinberg expected test MSE of a linear
+// regression fitted on d samples of dim-dimensional standard-Gaussian
+// inputs with noise expectation muE (Eq. 12):
+//
+//	E[mse(d)] = muE · dim / (d − dim − 1)
+//
+// It returns +Inf when d ≤ dim+1 (the OLS variance does not exist).
+func ExpectedMSE(d int, dim int, muE float64) float64 {
+	den := float64(d - dim - 1)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return muE * float64(dim) / den
+}
+
+// LemmaOneValue returns the Lemma 1 closed form for the expected data value
+// of every client under negative-MSE utility when all n clients hold t
+// samples each:
+//
+//	E[φ̂ᵢ] = (1/n)(m0 − muE·dim/(n·t − dim − 1))
+//
+// where m0 is the MSE of the initialised model.
+func LemmaOneValue(n, t, dim int, muE, m0 float64) float64 {
+	return (m0 - ExpectedMSE(n*t, dim, muE)) / float64(n)
+}
+
+// TruncatedValue returns the Theorem 3 intermediate: the expected value when
+// only combinations of size ≤ k* are used,
+//
+//	E[φ̂ᵢ^{k*}] = (1/n)(m0 − muE·dim/(k*·t − dim − 1)).
+func TruncatedValue(n, t, dim, kstar int, muE, m0 float64) float64 {
+	return (m0 - ExpectedMSE(kstar*t, dim, muE)) / float64(n)
+}
+
+// TheoremThreeBound returns the Theorem 3 relative-error bound for IPSS
+// truncation at k*:
+//
+//	|E[φ̂^{k*}] − E[φ]| / E[φ] ≤ (n−k*)·t / ((k*·t − dim − 1)(n·t − dim − 2))
+//
+// i.e. O((n−k*)/(k*·n·t)). Returns +Inf when the denominators are not
+// positive (k*·t too small relative to dim).
+func TheoremThreeBound(n, t, dim, kstar int) float64 {
+	d1 := float64(kstar*t - dim - 1)
+	d2 := float64(n*t - dim - 2)
+	if d1 <= 0 || d2 <= 0 {
+		return math.Inf(1)
+	}
+	return float64(n-kstar) * float64(t) / (d1 * d2)
+}
+
+// MCVarianceTerm returns the Theorem 2 per-sample variance of one MC-SV
+// marginal-contribution estimate under the FL linear-regression model with
+// per-sample noise variance sigma2 and client data size di (Eq. 9 inner
+// term): Var[U(M_{S∪{i}}) − U(M_S)] = |Dᵢ|²σ².
+func MCVarianceTerm(di int, sigma2 float64) float64 {
+	return float64(di) * float64(di) * sigma2
+}
+
+// CCVarianceTerm returns the Theorem 2 per-sample variance of one CC-SV
+// complementary-contribution estimate (Eq. 10 inner term):
+// ((|D_S|+|Dᵢ|)² + (|D_N|−|D_S|−|Dᵢ|)²)σ².
+func CCVarianceTerm(dS, di, dN int, sigma2 float64) float64 {
+	a := float64(dS + di)
+	b := float64(dN - dS - di)
+	return (a*a + b*b) * sigma2
+}
+
+// VarianceGap returns the Theorem 2 lower bound on Var[CC] − Var[MC] for a
+// single sampled coalition: |D_S|²σ² (Eq. 11 inner term), always ≥ 0 and
+// strictly positive once |D_S| > 0.
+func VarianceGap(dS int, sigma2 float64) float64 {
+	return float64(dS) * float64(dS) * sigma2
+}
+
+// IPSSBudgetForKStar returns the smallest budget γ for which Alg. 3 selects
+// the given k* on an n-client federation: Σ_{j=0..k*} C(n,j).
+func IPSSBudgetForKStar(n, kstar int) uint64 {
+	return combin.CumulativeBinomial(n, kstar)
+}

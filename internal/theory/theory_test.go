@@ -1,0 +1,184 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedshap/internal/model"
+	"fedshap/internal/tensor"
+)
+
+func TestExpectedMSEBasics(t *testing.T) {
+	// E[mse(d)] = muE·dim/(d−dim−1).
+	if got := ExpectedMSE(12, 4, 1.0); math.Abs(got-4.0/7) > 1e-12 {
+		t.Errorf("ExpectedMSE = %v, want %v", got, 4.0/7)
+	}
+	// Decreasing in d.
+	prev := math.Inf(1)
+	for d := 6; d <= 100; d += 5 {
+		cur := ExpectedMSE(d, 4, 1.0)
+		if cur > prev {
+			t.Errorf("E[mse] not decreasing at d=%d", d)
+		}
+		prev = cur
+	}
+	// Undefined below dim+2.
+	if !math.IsInf(ExpectedMSE(5, 4, 1.0), 1) {
+		t.Errorf("E[mse] should be +Inf for d <= dim+1")
+	}
+}
+
+// The Donahue–Kleinberg law matches empirical OLS on Gaussian data: the
+// substrate really follows the model the paper's proofs assume.
+func TestExpectedMSEMatchesEmpiricalOLS(t *testing.T) {
+	dim := 3
+	sigma := 0.5
+	muE := sigma * sigma // noise variance = expected squared noise
+	trainN := 40
+	const trials = 300
+	rng := rand.New(rand.NewSource(9))
+
+	wTrue := make([]float64, dim)
+	for j := range wTrue {
+		wTrue[j] = rng.NormFloat64()
+	}
+	gen := func(n int) (*tensor.Matrix, []float64) {
+		X := tensor.NewMatrix(n, dim)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < dim; j++ {
+				v := rng.NormFloat64()
+				X.Set(i, j, v)
+				s += wTrue[j] * v
+			}
+			y[i] = s + rng.NormFloat64()*sigma
+		}
+		return X, y
+	}
+
+	var excess float64
+	for trial := 0; trial < trials; trial++ {
+		Xtr, ytr := gen(trainN)
+		m := model.NewLinReg(dim)
+		m.FitOLS(Xtr, ytr, 1e-9)
+		Xte, yte := gen(500)
+		mse := -model.NegMSEFloat(m, Xte, yte)
+		excess += mse - sigma*sigma // subtract irreducible noise
+	}
+	excess /= trials
+	want := ExpectedMSE(trainN, dim, muE)
+	if math.Abs(excess-want) > 0.5*want {
+		t.Errorf("empirical excess MSE %v, Donahue–Kleinberg predicts %v", excess, want)
+	}
+}
+
+func TestLemmaOneValue(t *testing.T) {
+	n, tt, dim := 5, 100, 4
+	muE, m0 := 1.0, 2.0
+	got := LemmaOneValue(n, tt, dim, muE, m0)
+	want := (m0 - muE*float64(dim)/float64(n*tt-dim-1)) / float64(n)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("LemmaOneValue = %v, want %v", got, want)
+	}
+	// More total data → value per client approaches m0/n from below.
+	if got >= m0/float64(n) {
+		t.Errorf("value %v should be below m0/n = %v", got, m0/float64(n))
+	}
+}
+
+func TestTruncatedValueApproachesLemmaOne(t *testing.T) {
+	n, tt, dim := 10, 200, 4
+	muE, m0 := 1.0, 2.0
+	full := LemmaOneValue(n, tt, dim, muE, m0)
+	prevGap := math.Inf(1)
+	for kstar := 1; kstar <= n; kstar++ {
+		trunc := TruncatedValue(n, tt, dim, kstar, muE, m0)
+		gap := math.Abs(trunc - full)
+		if gap > prevGap+1e-12 {
+			t.Errorf("truncation gap not shrinking at k*=%d", kstar)
+		}
+		prevGap = gap
+	}
+	if prevGap > 1e-12 {
+		t.Errorf("k*=n should recover Lemma 1 value; gap %v", prevGap)
+	}
+}
+
+// Theorem 3: the actual relative truncation error is within the bound.
+// The paper's derivation assumes the initialised model is worse than a
+// model fitted on |x|+2 samples, i.e. m0 ≥ mse(|x|+2) = muE·|x| — the
+// property test honours that assumption.
+func TestTheoremThreeBoundHolds(t *testing.T) {
+	muE := 1.0
+	f := func(nRaw, tRaw, dRaw, kRaw uint8) bool {
+		n := int(nRaw%12) + 3
+		tt := int(tRaw%200) + 50
+		dim := int(dRaw%6) + 1
+		kstar := int(kRaw)%n + 1
+		m0 := muE * float64(dim) * 1.5 // satisfies m0 ≥ muE·|x|
+		if kstar*tt <= dim+1 {
+			return true // bound undefined; nothing to check
+		}
+		full := LemmaOneValue(n, tt, dim, muE, m0)
+		trunc := TruncatedValue(n, tt, dim, kstar, muE, m0)
+		rel := math.Abs(trunc-full) / math.Abs(full)
+		bound := TheoremThreeBound(n, tt, dim, kstar)
+		// The derivation replaces m0 with mse(|x|+2) ≥ m0's lower bound,
+		// so the bound must dominate the actual error.
+		return rel <= bound+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheoremThreeBoundShrinks(t *testing.T) {
+	n, tt, dim := 10, 100, 4
+	// Bound decreases in k*.
+	prev := math.Inf(1)
+	for k := 1; k <= n; k++ {
+		b := TheoremThreeBound(n, tt, dim, k)
+		if b > prev+1e-15 {
+			t.Errorf("bound not decreasing at k*=%d", k)
+		}
+		prev = b
+	}
+	// Bound is zero at k* = n.
+	if prev != 0 {
+		t.Errorf("bound at k*=n is %v, want 0", prev)
+	}
+	// Bound decreases in t (more data per client → smaller error).
+	if TheoremThreeBound(n, 1000, dim, 2) >= TheoremThreeBound(n, 100, dim, 2) {
+		t.Errorf("bound should shrink with more per-client data")
+	}
+}
+
+// Theorem 2: the CC variance term exceeds the MC variance term by at least
+// the VarianceGap for every coalition configuration.
+func TestTheoremTwoVarianceOrdering(t *testing.T) {
+	f := func(dSRaw, diRaw, restRaw uint8, sigmaRaw uint8) bool {
+		dS := int(dSRaw % 100)
+		di := int(diRaw%100) + 1
+		dN := dS + di + int(restRaw%100)
+		sigma2 := float64(sigmaRaw%9+1) / 10
+		mc := MCVarianceTerm(di, sigma2)
+		cc := CCVarianceTerm(dS, di, dN, sigma2)
+		gap := VarianceGap(dS, sigma2)
+		return cc-mc >= gap-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPSSBudgetForKStar(t *testing.T) {
+	if got := IPSSBudgetForKStar(4, 1); got != 5 {
+		t.Errorf("budget = %d, want 5", got)
+	}
+	if got := IPSSBudgetForKStar(10, 1); got != 11 {
+		t.Errorf("budget = %d, want 11", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package utility implements the utility oracle U(M_S) at the heart of
+// SV-based data valuation: train a federated model on a coalition's merged
+// datasets and score it on the shared test set. The oracle memoises by
+// coalition bitmask — every valuation algorithm in this repo is budgeted
+// and timed in units of *distinct coalition evaluations*, matching the
+// paper's accounting where τ (one train+evaluate) dominates everything.
+package utility
+
+import (
+	"sync"
+
+	"fedshap/internal/combin"
+	"fedshap/internal/dataset"
+	"fedshap/internal/fl"
+	"fedshap/internal/model"
+)
+
+// EvalFunc trains and evaluates the model for one coalition, returning its
+// utility.
+type EvalFunc func(s combin.Coalition) float64
+
+// Oracle memoises coalition utilities and counts fresh evaluations.
+// It is safe for concurrent use.
+type Oracle struct {
+	n    int
+	eval EvalFunc
+
+	mu    sync.Mutex
+	cache map[combin.Coalition]float64
+	evals int
+}
+
+// NewOracle wraps an evaluation function for a federation of n clients.
+func NewOracle(n int, eval EvalFunc) *Oracle {
+	return &Oracle{n: n, eval: eval, cache: make(map[combin.Coalition]float64)}
+}
+
+// N returns the federation size.
+func (o *Oracle) N() int { return o.n }
+
+// U returns the utility of coalition s, evaluating and caching on first use.
+func (o *Oracle) U(s combin.Coalition) float64 {
+	o.mu.Lock()
+	if v, ok := o.cache[s]; ok {
+		o.mu.Unlock()
+		return v
+	}
+	o.mu.Unlock()
+	// Evaluate outside the lock; duplicate concurrent evaluation of the
+	// same coalition is possible but harmless (deterministic result).
+	v := o.eval(s)
+	o.mu.Lock()
+	if _, ok := o.cache[s]; !ok {
+		o.cache[s] = v
+		o.evals++
+	}
+	o.mu.Unlock()
+	return v
+}
+
+// Cached reports whether s has already been evaluated.
+func (o *Oracle) Cached(s combin.Coalition) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	_, ok := o.cache[s]
+	return ok
+}
+
+// Evals returns the number of distinct coalitions evaluated so far — the
+// consumed sampling budget.
+func (o *Oracle) Evals() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.evals
+}
+
+// Reset clears the cache and the evaluation counter.
+func (o *Oracle) Reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.cache = make(map[combin.Coalition]float64)
+	o.evals = 0
+}
+
+// Metric scores a trained model on a test set.
+type Metric func(m model.Model, test *dataset.Dataset) float64
+
+// FLSpec bundles everything needed to evaluate coalitions by federated
+// training: the model factory, the per-client datasets, the shared test set,
+// the FedAvg configuration and the utility metric.
+type FLSpec struct {
+	Factory model.Factory
+	Clients []*dataset.Dataset
+	Test    *dataset.Dataset
+	Config  fl.Config
+	Metric  Metric
+}
+
+// NewFLOracle builds the standard oracle of Def. 2: U(M_S) = Metric of the
+// FL model trained on ∪_{i∈S} D_i. Training is deterministic per coalition
+// (seeded from the base seed), so repeated queries agree.
+func NewFLOracle(spec FLSpec) *Oracle {
+	if spec.Metric == nil {
+		spec.Metric = model.Accuracy
+	}
+	return NewOracle(len(spec.Clients), func(s combin.Coalition) float64 {
+		subset := make([]*dataset.Dataset, 0, s.Size())
+		for _, i := range s.Members() {
+			subset = append(subset, spec.Clients[i])
+		}
+		cfg := spec.Config
+		m := fl.Train(spec.Factory, subset, cfg)
+		return spec.Metric(m, spec.Test)
+	})
+}
+
+// Snapshot returns a copy of the cache, for tests and reporting.
+func (o *Oracle) Snapshot() map[combin.Coalition]float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[combin.Coalition]float64, len(o.cache))
+	for k, v := range o.cache {
+		out[k] = v
+	}
+	return out
+}
+
+// TableOracle builds an oracle from an explicit utility table, used by the
+// paper's worked examples (Table I, Figs. 2 and 5) and by synthetic games in
+// tests. Lookups of missing coalitions panic.
+func TableOracle(n int, table map[combin.Coalition]float64) *Oracle {
+	return NewOracle(n, func(s combin.Coalition) float64 {
+		v, ok := table[s]
+		if !ok {
+			panic("utility: coalition missing from table: " + s.String())
+		}
+		return v
+	})
+}

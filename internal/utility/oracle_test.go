@@ -1,0 +1,138 @@
+package utility
+
+import (
+	"sync"
+	"testing"
+
+	"fedshap/internal/combin"
+	"fedshap/internal/dataset"
+	"fedshap/internal/fl"
+	"fedshap/internal/model"
+)
+
+func TestOracleCachesAndCounts(t *testing.T) {
+	calls := 0
+	o := NewOracle(3, func(s combin.Coalition) float64 {
+		calls++
+		return float64(s.Size())
+	})
+	s := combin.NewCoalition(0, 2)
+	if got := o.U(s); got != 2 {
+		t.Errorf("U = %v", got)
+	}
+	if got := o.U(s); got != 2 {
+		t.Errorf("cached U = %v", got)
+	}
+	if calls != 1 {
+		t.Errorf("eval function called %d times, want 1", calls)
+	}
+	if o.Evals() != 1 {
+		t.Errorf("Evals = %d, want 1", o.Evals())
+	}
+	o.U(combin.Empty)
+	if o.Evals() != 2 {
+		t.Errorf("Evals = %d, want 2", o.Evals())
+	}
+	if !o.Cached(s) || o.Cached(combin.NewCoalition(1)) {
+		t.Errorf("Cached misreports")
+	}
+}
+
+func TestOracleReset(t *testing.T) {
+	o := NewOracle(2, func(s combin.Coalition) float64 { return 1 })
+	o.U(combin.Empty)
+	o.Reset()
+	if o.Evals() != 0 || o.Cached(combin.Empty) {
+		t.Errorf("Reset did not clear state")
+	}
+}
+
+func TestOracleConcurrentAccess(t *testing.T) {
+	o := NewOracle(4, func(s combin.Coalition) float64 { return float64(s.Index()) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			combin.AllSubsets(4, func(s combin.Coalition) { o.U(s) })
+		}()
+	}
+	wg.Wait()
+	if o.Evals() != 16 {
+		t.Errorf("concurrent Evals = %d, want 16", o.Evals())
+	}
+}
+
+func TestTableOracle(t *testing.T) {
+	table := map[combin.Coalition]float64{
+		combin.Empty:            0.1,
+		combin.NewCoalition(0):  0.5,
+		combin.FullCoalition(1): 0.5,
+	}
+	o := TableOracle(1, table)
+	if got := o.U(combin.Empty); got != 0.1 {
+		t.Errorf("table lookup = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("missing coalition should panic")
+		}
+	}()
+	o.U(combin.NewCoalition(0, 5))
+}
+
+func TestFLOracleMonotoneOnAverage(t *testing.T) {
+	// More clients should (in aggregate) give at least as good utility —
+	// the monotonicity the paper's observations build on. We check the
+	// grand coalition beats the average singleton.
+	cfg := dataset.DefaultFEMNISTLike(3, 50, 21)
+	cfg.Classes = 4
+	clients, test := dataset.FEMNISTLike(cfg)
+	spec := FLSpec{
+		Factory: func(seed int64) model.Model { return model.NewLogReg(clients[0].Dim(), 4, seed) },
+		Clients: clients,
+		Test:    test,
+		Config:  fl.Config{Rounds: 2, LocalEpochs: 1, LR: 0.05, Seed: 7, WeightBySize: true},
+	}
+	o := NewFLOracle(spec)
+	full := o.U(combin.FullCoalition(3))
+	var singles float64
+	for i := 0; i < 3; i++ {
+		singles += o.U(combin.NewCoalition(i))
+	}
+	singles /= 3
+	if full < singles {
+		t.Errorf("grand coalition %v below average singleton %v", full, singles)
+	}
+}
+
+func TestFLOracleEmptyCoalition(t *testing.T) {
+	cfg := dataset.DefaultFEMNISTLike(2, 20, 22)
+	cfg.Classes = 4
+	clients, test := dataset.FEMNISTLike(cfg)
+	spec := FLSpec{
+		Factory: func(seed int64) model.Model { return model.NewLogReg(clients[0].Dim(), 4, seed) },
+		Clients: clients,
+		Test:    test,
+		Config:  fl.DefaultConfig(7),
+	}
+	o := NewFLOracle(spec)
+	u := o.U(combin.Empty)
+	// The untrained model should be near chance (1/4) on a 4-class task.
+	if u < 0 || u > 0.6 {
+		t.Errorf("empty-coalition utility %v looks wrong for untrained model", u)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	o := NewOracle(2, func(s combin.Coalition) float64 { return float64(s.Size()) })
+	o.U(combin.Empty)
+	o.U(combin.NewCoalition(1))
+	snap := o.Snapshot()
+	if len(snap) != 2 {
+		t.Errorf("snapshot size = %d", len(snap))
+	}
+	if snap[combin.NewCoalition(1)] != 1 {
+		t.Errorf("snapshot content wrong")
+	}
+}

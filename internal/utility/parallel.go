@@ -1,0 +1,70 @@
+package utility
+
+import (
+	"runtime"
+	"sync"
+
+	"fedshap/internal/combin"
+)
+
+// Prefetch evaluates the given coalitions concurrently on a bounded worker
+// pool and caches the results, so that a subsequent single-threaded
+// valuation pass (which is where the algorithmic bookkeeping lives) hits a
+// warm cache. workers <= 0 selects GOMAXPROCS. Duplicate and
+// already-cached coalitions are skipped.
+//
+// This mirrors the paper's implementation note: coalition evaluations are
+// embarrassingly parallel because each trains an independent model, so the
+// wall-clock of every algorithm scales down by the worker count while the
+// budget accounting (distinct evaluations) is unchanged.
+func (o *Oracle) Prefetch(coalitions []combin.Coalition, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Deduplicate and drop cached entries up front.
+	pending := make([]combin.Coalition, 0, len(coalitions))
+	seen := make(map[combin.Coalition]struct{}, len(coalitions))
+	for _, s := range coalitions {
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		if !o.Cached(s) {
+			pending = append(pending, s)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var wg sync.WaitGroup
+	work := make(chan combin.Coalition)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				o.U(s)
+			}
+		}()
+	}
+	for _, s := range pending {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+}
+
+// PrefetchStrata warms the cache with every coalition of size ≤ k — the
+// exact set IPSS evaluates exhaustively (its "key combinations").
+func (o *Oracle) PrefetchStrata(k, workers int) {
+	var all []combin.Coalition
+	for size := 0; size <= k && size <= o.n; size++ {
+		combin.SubsetsOfSize(o.n, size, func(s combin.Coalition) {
+			all = append(all, s)
+		})
+	}
+	o.Prefetch(all, workers)
+}

@@ -1,0 +1,72 @@
+package utility
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"fedshap/internal/combin"
+)
+
+func TestPrefetchWarmsCache(t *testing.T) {
+	var calls int64
+	o := NewOracle(5, func(s combin.Coalition) float64 {
+		atomic.AddInt64(&calls, 1)
+		return float64(s.Size())
+	})
+	var want []combin.Coalition
+	combin.SubsetsOfSize(5, 2, func(s combin.Coalition) { want = append(want, s) })
+	o.Prefetch(want, 4)
+	if got := o.Evals(); got != len(want) {
+		t.Errorf("prefetched %d, want %d", got, len(want))
+	}
+	before := atomic.LoadInt64(&calls)
+	for _, s := range want {
+		o.U(s)
+	}
+	if atomic.LoadInt64(&calls) != before {
+		t.Errorf("post-prefetch queries re-evaluated")
+	}
+}
+
+func TestPrefetchDeduplicates(t *testing.T) {
+	var calls int64
+	o := NewOracle(3, func(s combin.Coalition) float64 {
+		atomic.AddInt64(&calls, 1)
+		return 0
+	})
+	s := combin.NewCoalition(0, 1)
+	o.Prefetch([]combin.Coalition{s, s, s, combin.Empty, combin.Empty}, 2)
+	if got := atomic.LoadInt64(&calls); got != 2 {
+		t.Errorf("calls = %d, want 2 (dedup)", got)
+	}
+}
+
+func TestPrefetchSkipsCached(t *testing.T) {
+	var calls int64
+	o := NewOracle(3, func(s combin.Coalition) float64 {
+		atomic.AddInt64(&calls, 1)
+		return 0
+	})
+	o.U(combin.Empty)
+	o.Prefetch([]combin.Coalition{combin.Empty}, 1)
+	if got := atomic.LoadInt64(&calls); got != 1 {
+		t.Errorf("calls = %d, want 1", got)
+	}
+}
+
+func TestPrefetchStrata(t *testing.T) {
+	o := NewOracle(5, func(s combin.Coalition) float64 { return 0 })
+	o.PrefetchStrata(2, 3)
+	// 1 + 5 + 10 = 16 coalitions of size ≤ 2.
+	if got := o.Evals(); got != 16 {
+		t.Errorf("evals = %d, want 16", got)
+	}
+}
+
+func TestPrefetchEmptyInput(t *testing.T) {
+	o := NewOracle(3, func(s combin.Coalition) float64 { return 0 })
+	o.Prefetch(nil, 4) // must not hang or panic
+	if o.Evals() != 0 {
+		t.Errorf("evals = %d", o.Evals())
+	}
+}

@@ -1,0 +1,67 @@
+package utility
+
+import (
+	"testing"
+
+	"fedshap/internal/combin"
+)
+
+func TestRunViewIndependentBudgets(t *testing.T) {
+	calls := 0
+	o := NewOracle(4, func(s combin.Coalition) float64 {
+		calls++
+		return float64(s.Size())
+	})
+	a := NewRunView(o)
+	b := NewRunView(o)
+
+	s := combin.NewCoalition(0, 1)
+	a.U(s)
+	if a.Evals() != 1 {
+		t.Errorf("view a evals = %d", a.Evals())
+	}
+	if b.Evals() != 0 {
+		t.Errorf("view b evals = %d before any request", b.Evals())
+	}
+	// Second view requesting the same coalition is charged, but the
+	// underlying oracle does not retrain.
+	b.U(s)
+	if b.Evals() != 1 {
+		t.Errorf("view b evals = %d", b.Evals())
+	}
+	if calls != 1 {
+		t.Errorf("underlying evaluations = %d, want 1 (cache shared)", calls)
+	}
+}
+
+func TestRunViewCachedScopedToRun(t *testing.T) {
+	o := NewOracle(3, func(s combin.Coalition) float64 { return 0 })
+	o.U(combin.Empty) // warm the shared cache
+	v := NewRunView(o)
+	if v.Cached(combin.Empty) {
+		t.Errorf("view should not see other scopes' requests as cached")
+	}
+	v.U(combin.Empty)
+	if !v.Cached(combin.Empty) {
+		t.Errorf("view should see its own requests")
+	}
+}
+
+func TestRunViewChargesDistinctOnly(t *testing.T) {
+	o := NewOracle(3, func(s combin.Coalition) float64 { return 0 })
+	v := NewRunView(o)
+	s := combin.NewCoalition(1)
+	v.U(s)
+	v.U(s)
+	v.U(s)
+	if v.Evals() != 1 {
+		t.Errorf("repeat requests charged %d times", v.Evals())
+	}
+}
+
+func TestRunViewN(t *testing.T) {
+	o := NewOracle(7, func(s combin.Coalition) float64 { return 0 })
+	if NewRunView(o).N() != 7 {
+		t.Errorf("view N mismatch")
+	}
+}

@@ -1,0 +1,154 @@
+package vfl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedshap/internal/combin"
+	"fedshap/internal/dataset"
+	"fedshap/internal/shapley"
+)
+
+// verticalProblem builds a tabular task where feature blocks carry unequal
+// signal: block 0 gets the informative columns, later blocks get noise.
+func verticalProblem(t *testing.T, n int, seed int64) *Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dim := 4 * n
+	samples := 500
+	d := dataset.New("vertical", samples, dim, 2)
+	// Only the first block's columns carry label signal.
+	for i := 0; i < samples; i++ {
+		row := d.X.Row(i)
+		for j := 0; j < dim; j++ {
+			row[j] = rng.NormFloat64()
+		}
+		z := 1.5*row[0] - 1.2*row[1] + 0.8*row[2]
+		if z > 0 {
+			d.Y[i] = 1
+		}
+	}
+	train, test := d.Split(0.7, rng)
+	return &Problem{
+		Train: train, Test: test,
+		Blocks: EqualBlocks(dim, n),
+		Epochs: 3, LR: 0.1, Seed: seed,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := verticalProblem(t, 3, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping blocks rejected.
+	bad := *p
+	bad.Blocks = []FeatureBlock{{Name: "a", Start: 0, Width: 4}, {Name: "b", Start: 2, Width: 4}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("overlapping blocks accepted")
+	}
+	// Out-of-range block rejected.
+	bad2 := *p
+	bad2.Blocks = []FeatureBlock{{Name: "a", Start: 0, Width: 9999}}
+	if err := bad2.Validate(); err == nil {
+		t.Errorf("out-of-range block accepted")
+	}
+}
+
+func TestEqualBlocks(t *testing.T) {
+	blocks := EqualBlocks(10, 3) // widths 4,3,3
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	total := 0
+	for _, b := range blocks {
+		total += b.Width
+	}
+	if total != 10 {
+		t.Errorf("widths cover %d of 10", total)
+	}
+	if blocks[0].Start != 0 || blocks[1].Start != 4 || blocks[2].Start != 7 {
+		t.Errorf("starts = %d,%d,%d", blocks[0].Start, blocks[1].Start, blocks[2].Start)
+	}
+}
+
+func TestVerticalUtilityMonotone(t *testing.T) {
+	p := verticalProblem(t, 3, 2)
+	o, err := p.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := o.U(combin.FullCoalition(3))
+	empty := o.U(combin.Empty)
+	// Without any provider's features, only the bias trains → near chance.
+	if empty > 0.65 {
+		t.Errorf("empty-coalition accuracy %v looks too high", empty)
+	}
+	if full <= empty {
+		t.Errorf("full features (%v) should beat none (%v)", full, empty)
+	}
+}
+
+func TestVerticalShapleyRanksSignalBlock(t *testing.T) {
+	p := verticalProblem(t, 3, 3)
+	o, err := p.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := shapley.NewContext(o, 1)
+	phi, err := (shapley.ExactMC{}).Values(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Provider 0 holds all the signal; it must dominate.
+	if !(phi[0] > phi[1] && phi[0] > phi[2]) {
+		t.Errorf("signal provider not top-ranked: %v", phi)
+	}
+	// Noise providers are worth ~nothing.
+	for i := 1; i < 3; i++ {
+		if math.Abs(phi[i]) > 0.25*phi[0] {
+			t.Errorf("noise provider %d valued %v vs signal %v", i, phi[i], phi[0])
+		}
+	}
+}
+
+func TestVerticalIPSSWithinBudget(t *testing.T) {
+	p := verticalProblem(t, 5, 4)
+	o, err := p.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := shapley.NewContext(o, 2)
+	phi, err := shapley.NewIPSS(10).Values(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phi) != 5 {
+		t.Fatalf("values = %v", phi)
+	}
+	if o.Evals() > 10 {
+		t.Errorf("IPSS used %d evals for γ=10", o.Evals())
+	}
+}
+
+func TestVerticalDeterminism(t *testing.T) {
+	run := func() []float64 {
+		p := verticalProblem(t, 3, 7)
+		o, err := p.Oracle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi, err := (shapley.ExactMC{}).Values(shapley.NewContext(o, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return phi
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("vertical valuation non-deterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package fedshap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Report persistence: valuation results are contracts between data
+// providers, so they need a durable, human-auditable form.
+
+// reportFile is the JSON schema for a saved report.
+type reportFile struct {
+	Algorithm   string    `json:"algorithm"`
+	Names       []string  `json:"names"`
+	Values      []float64 `json:"values"`
+	Seconds     float64   `json:"seconds"`
+	Evaluations int       `json:"evaluations"`
+	SavedAt     time.Time `json:"saved_at"`
+	Version     int       `json:"version"`
+}
+
+const reportVersion = 1
+
+// WriteJSON serialises the report to w as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reportFile{
+		Algorithm:   r.Algorithm,
+		Names:       r.Names,
+		Values:      r.Values,
+		Seconds:     r.Seconds,
+		Evaluations: r.Evaluations,
+		SavedAt:     time.Now().UTC(),
+		Version:     reportVersion,
+	})
+}
+
+// SaveJSON writes the report to a file.
+func (r *Report) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fedshap: save report: %w", err)
+	}
+	defer f.Close()
+	return r.WriteJSON(f)
+}
+
+// ReadReportJSON parses a report previously written by WriteJSON.
+func ReadReportJSON(r io.Reader) (*Report, error) {
+	var rf reportFile
+	if err := json.NewDecoder(r).Decode(&rf); err != nil {
+		return nil, fmt.Errorf("fedshap: parse report: %w", err)
+	}
+	if rf.Version != reportVersion {
+		return nil, fmt.Errorf("fedshap: unsupported report version %d", rf.Version)
+	}
+	if len(rf.Names) != len(rf.Values) {
+		return nil, fmt.Errorf("fedshap: corrupt report: %d names for %d values", len(rf.Names), len(rf.Values))
+	}
+	return &Report{
+		Algorithm:   rf.Algorithm,
+		Names:       rf.Names,
+		Values:      rf.Values,
+		Seconds:     rf.Seconds,
+		Evaluations: rf.Evaluations,
+	}, nil
+}
+
+// LoadReportJSON reads a report from a file.
+func LoadReportJSON(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fedshap: load report: %w", err)
+	}
+	defer f.Close()
+	return ReadReportJSON(f)
+}
