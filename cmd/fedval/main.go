@@ -7,16 +7,28 @@
 //	fedval -data femnist -model mlp -n 6 -alg ipss
 //	fedval -data adult -model xgb -n 10 -alg ipss -gamma 64
 //	fedval -data synthetic -setup same-size-noisy-label -noise 0.2 -alg exact
+//
+// With -server it becomes a client of the fedvald daemon instead of
+// computing locally: the job runs in the daemon's worker pool against its
+// persistent utility cache, with live progress and Ctrl-C cancellation:
+//
+//	fedval -server http://127.0.0.1:8787 -data femnist -model mlp -n 6 -alg ipss
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"fedshap"
 	"fedshap/internal/dataset"
 	"fedshap/internal/experiments"
 	"fedshap/internal/fl"
@@ -52,8 +64,34 @@ func main() {
 		scaleName = flag.String("scale", "small", "substrate scale: tiny | small")
 		compare   = flag.Bool("compare", false, "also compute exact values and report the l2 error (2^n trainings)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
+		server    = flag.String("server", "", "fedvald base URL; when set, run the job remotely instead of locally")
+		poll      = flag.Duration("poll", 300*time.Millisecond, "progress poll interval in -server mode")
+		workers   = flag.Int("workers", 0, "concurrent coalition evaluations in -server mode (0 = daemon default)")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		if strings.EqualFold(*data, "csv") {
+			fatal(errors.New("-data csv is not available in -server mode (the file is local)"))
+		}
+		if *compare {
+			fatal(errors.New("-compare is not available in -server mode"))
+		}
+		runRemote(*server, fedshap.JobRequest{
+			Data:      *data,
+			Setup:     *setup,
+			Noise:     *noise,
+			Model:     *modelKind,
+			N:         *n,
+			Algorithm: *algName,
+			Gamma:     *gamma,
+			K:         *k,
+			Seed:      *seed,
+			Scale:     *scaleName,
+			Workers:   *workers,
+		}, *jsonOut, *poll)
+		return
+	}
 
 	sc := experiments.Small()
 	if *scaleName == "tiny" {
@@ -128,6 +166,77 @@ func main() {
 			fmt.Printf(" %12.4f", exact[i])
 		}
 		fmt.Println()
+	}
+}
+
+// runRemote submits the job to a fedvald daemon, streams progress to
+// stderr, and prints the final report in the same formats as a local run.
+// Ctrl-C cancels the remote job before exiting.
+func runRemote(server string, req fedshap.JobRequest, jsonOut bool, poll time.Duration) {
+	client := fedshap.NewServiceClient(server)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	st, err := client.Submit(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	jobID := st.ID
+	fmt.Fprintf(os.Stderr, "fedval: submitted %s (fingerprint %s, budget %d)\n", st.ID, st.Fingerprint, st.Budget)
+
+	lastFresh := -1
+	st, err = client.Wait(ctx, jobID, poll, func(s *fedshap.JobStatus) {
+		if s.FreshEvals != lastFresh || s.State == fedshap.JobRunning && lastFresh < 0 {
+			lastFresh = s.FreshEvals
+			fmt.Fprintf(os.Stderr, "fedval: %-8s fresh evaluations %d/%d (warm-cached %d)\n",
+				s.State, s.FreshEvals, s.Budget, s.WarmedCoalitions)
+		}
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Interrupted: cancel the remote job before giving up. The
+			// interrupt may have landed mid-poll (Wait returns no status
+			// then), so cancel by the submit-time ID.
+			cctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if cst, cerr := client.Cancel(cctx, jobID); cerr == nil {
+				fatal(fmt.Errorf("interrupted; job %s is now %s", cst.ID, cst.State))
+			}
+		}
+		fatal(err)
+	}
+	switch st.State {
+	case fedshap.JobDone:
+	case fedshap.JobCancelled:
+		fatal(fmt.Errorf("job %s was cancelled: %s", st.ID, st.Error))
+	default:
+		fatal(fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error))
+	}
+
+	rep := st.Report
+	if jsonOut {
+		out := jsonResult{
+			Problem:     st.Problem,
+			Algorithm:   rep.Algorithm,
+			Seconds:     rep.Seconds,
+			Evaluations: rep.Evaluations,
+			Values:      rep.Values,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("problem:    %s\n", st.Problem)
+	fmt.Printf("algorithm:  %s\n", rep.Algorithm)
+	fmt.Printf("time:       %.3fs   fresh coalition evaluations: %d (warm-cached %d)\n",
+		rep.Seconds, rep.Evaluations, st.WarmedCoalitions)
+	fmt.Println()
+	fmt.Printf("%-10s %12s\n", "client", "value")
+	for i, v := range rep.Values {
+		fmt.Printf("%-10s %12.4f\n", rep.Names[i], v)
 	}
 }
 

@@ -1,0 +1,92 @@
+// Command fedvald is the valuation job daemon: it serves the fedshap
+// valuation service over HTTP, executing jobs on a bounded worker pool with
+// a persistent utility cache so resubmitted and follow-up jobs reuse every
+// coalition already trained.
+//
+// Usage:
+//
+//	fedvald -addr 127.0.0.1:8787 -cache-dir fedval-cache -workers 2
+//
+// Submit and track jobs with `fedval -server http://127.0.0.1:8787 ...` or
+// plain HTTP:
+//
+//	curl -X POST localhost:8787/v1/jobs -d '{"data":"femnist","model":"mlp","n":6,"algorithm":"ipss"}'
+//	curl localhost:8787/v1/jobs/<id>
+//	curl -X DELETE localhost:8787/v1/jobs/<id>
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fedshap/internal/valserve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8787", "listen address")
+		workers     = flag.Int("workers", 2, "concurrent valuation jobs")
+		evalWorkers = flag.Int("eval-workers", 0, "concurrent coalition evaluations per job (0 = GOMAXPROCS)")
+		queueCap    = flag.Int("queue", 64, "pending-job queue capacity")
+		cacheDir    = flag.String("cache-dir", "fedval-cache", "persistent utility cache directory (empty disables persistence)")
+	)
+	flag.Parse()
+
+	mgr, err := valserve.NewManager(valserve.Config{
+		Workers:     *workers,
+		EvalWorkers: *evalWorkers,
+		QueueCap:    *queueCap,
+		CacheDir:    *cacheDir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: valserve.NewHandler(mgr)}
+	fmt.Fprintf(os.Stderr, "fedvald: listening on http://%s (cache: %s)\n", ln.Addr(), cacheDesc(*cacheDir))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "fedvald: shutting down")
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	if err := mgr.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func cacheDesc(dir string) string {
+	if dir == "" {
+		return "disabled"
+	}
+	return dir
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedvald:", err)
+	os.Exit(1)
+}

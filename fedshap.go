@@ -25,6 +25,7 @@
 package fedshap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -311,25 +312,33 @@ func (f *Federation) spec() *utility.FLSpec {
 // Report is the outcome of one valuation run.
 type Report struct {
 	// Algorithm is the Valuer's display name.
-	Algorithm string
+	Algorithm string `json:"algorithm"`
 	// Values holds one data value per client, in registration order.
-	Values Values
+	Values Values `json:"values"`
 	// Names mirrors ClientNames for convenience.
-	Names []string
+	Names []string `json:"names"`
 	// Seconds is the wall-clock cost, dominated by coalition training.
-	Seconds float64
+	Seconds float64 `json:"seconds"`
 	// Evaluations is the number of distinct coalitions trained+evaluated.
-	Evaluations int
+	Evaluations int `json:"evaluations"`
 }
 
 // Value runs a valuation algorithm against a fresh utility oracle.
 // The seed drives the algorithm's sampling decisions.
 func (f *Federation) Value(alg Valuer, seed int64) (*Report, error) {
+	return f.ValueCtx(context.Background(), alg, seed)
+}
+
+// ValueCtx is Value with cooperative cancellation: when ctx is cancelled
+// the run stops before its next fresh coalition evaluation and returns an
+// error satisfying errors.Is(err, context.Canceled). This is the
+// entry point the valuation service (internal/valserve) builds on.
+func (f *Federation) ValueCtx(ctx context.Context, alg Valuer, seed int64) (*Report, error) {
 	spec := f.spec()
 	oracle := utility.NewFLOracle(*spec)
-	ctx := shapley.NewContext(oracle, seed).WithSpec(spec)
+	sctx := shapley.NewContext(oracle, seed).WithSpec(spec).WithContext(ctx)
 	start := time.Now()
-	values, err := alg.Values(ctx)
+	values, err := shapley.Run(sctx, alg)
 	if err != nil {
 		return nil, fmt.Errorf("fedshap: %s: %w", alg.Name(), err)
 	}
@@ -358,7 +367,9 @@ func (f *Federation) ValueParallel(alg Valuer, seed int64, workers int) (*Report
 	oracle := utility.NewFLOracle(*spec)
 	start := time.Now()
 	if pf, ok := alg.(shapley.Prefetchable); ok {
-		oracle.Prefetch(pf.PrefetchPlan(f.N()), workers)
+		if err := oracle.Prefetch(context.Background(), pf.PrefetchPlan(f.N()), workers); err != nil {
+			return nil, fmt.Errorf("fedshap: %s: %w", alg.Name(), err)
+		}
 	}
 	ctx := shapley.NewContext(oracle, seed).WithSpec(spec)
 	values, err := alg.Values(ctx)

@@ -1,0 +1,3 @@
+module fedshap
+
+go 1.22

@@ -157,6 +157,26 @@ func (c Coalition) Index() uint64 {
 	return c.lo
 }
 
+// Words returns the raw bitmask words (players 0-63 in lo, 64-126 in hi),
+// for serialisation. FromWords is the inverse.
+func (c Coalition) Words() (lo, hi uint64) { return c.lo, c.hi }
+
+// FromWords rebuilds a coalition from its raw bitmask words.
+func FromWords(lo, hi uint64) Coalition { return Coalition{lo: lo, hi: hi} }
+
+// Hash returns a well-mixed 64-bit hash of the bitmask (splitmix64-style
+// finaliser), suitable for sharded caches: coalitions that differ in a
+// single low bit land in different shards.
+func (c Coalition) Hash() uint64 {
+	h := c.lo ^ bits.RotateLeft64(c.hi, 32) ^ 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
 // Members returns the sorted member indices.
 func (c Coalition) Members() []int {
 	out := make([]int, 0, c.Size())

@@ -1,8 +1,8 @@
 package dataset
 
 import (
-	"os"
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )

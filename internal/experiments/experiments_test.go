@@ -1,8 +1,8 @@
 package experiments
 
 import (
-	"fmt"
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"

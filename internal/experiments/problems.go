@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"fedshap/internal/combin"
 	"fedshap/internal/dataset"
 	"fedshap/internal/fl"
 	"fedshap/internal/model"
@@ -99,6 +100,20 @@ func (p *Problem) Oracle() *utility.Oracle {
 		return p.customOracle()
 	}
 	return utility.NewFLOracle(*p.Spec)
+}
+
+// NewFuncProblem builds a problem whose utilities come from an arbitrary
+// function instead of FL training — synthetic cooperative games, closed-form
+// oracles and valuation-service tests use it. Spec stays nil, so
+// gradient-based baselines report ErrNeedsSpec on such problems.
+func NewFuncProblem(name string, n int, eval func(combin.Coalition) float64) *Problem {
+	return &Problem{
+		Name: name,
+		N:    n,
+		customOracle: func() *utility.Oracle {
+			return utility.NewOracle(n, eval)
+		},
+	}
 }
 
 // factory builds the model constructor for a family over a given input

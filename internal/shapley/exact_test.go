@@ -14,14 +14,14 @@ import (
 // values the paper works out in Example 1 as φ ≈ (0.22, 0.32, 0.32).
 func tableI() *utility.Oracle {
 	u := map[combin.Coalition]float64{
-		combin.Empty:                0.10,
-		combin.NewCoalition(0):      0.50,
-		combin.NewCoalition(1):      0.70,
-		combin.NewCoalition(2):      0.60,
-		combin.NewCoalition(0, 1):   0.80,
-		combin.NewCoalition(0, 2):   0.90,
-		combin.NewCoalition(1, 2):   0.90,
-		combin.FullCoalition(3):     0.96,
+		combin.Empty:              0.10,
+		combin.NewCoalition(0):    0.50,
+		combin.NewCoalition(1):    0.70,
+		combin.NewCoalition(2):    0.60,
+		combin.NewCoalition(0, 1): 0.80,
+		combin.NewCoalition(0, 2): 0.90,
+		combin.NewCoalition(1, 2): 0.90,
+		combin.FullCoalition(3):   0.96,
 	}
 	return utility.TableOracle(3, u)
 }

@@ -11,6 +11,7 @@
 package shapley
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -40,11 +41,13 @@ func (v Values) Sum() float64 {
 // Context carries the inputs a valuation algorithm may need. Oracle is
 // always required. Spec is required only by the gradient-based baselines,
 // which train once with a trace and evaluate reconstructed models; it is nil
-// when the game exists only as a utility table.
+// when the game exists only as a utility table. Ctx, when non-nil, makes
+// the run cooperatively cancellable (see Run).
 type Context struct {
 	Oracle utility.Source
 	Spec   *utility.FLSpec
 	RNG    *rand.Rand
+	Ctx    context.Context
 }
 
 // NewContext builds a Context with a deterministic RNG.
@@ -56,6 +59,40 @@ func NewContext(o utility.Source, seed int64) *Context {
 func (c *Context) WithSpec(spec *utility.FLSpec) *Context {
 	c.Spec = spec
 	return c
+}
+
+// WithContext attaches a context for cooperative cancellation.
+func (c *Context) WithContext(ctx context.Context) *Context {
+	c.Ctx = ctx
+	return c
+}
+
+// Run executes a valuer with cooperative cancellation. If c.Ctx is set and
+// the oracle supports context binding, cancelling the context makes the
+// next *fresh* coalition evaluation abort the run; Run converts that abort
+// back into an error satisfying errors.Is(err, context.Canceled) (or
+// DeadlineExceeded). Utilities cached before the cancellation stay cached.
+// Algorithms themselves stay context-free: every one is budgeted in oracle
+// calls, so the oracle is the single choke point cancellation needs.
+func Run(c *Context, v Valuer) (values Values, err error) {
+	if c.Ctx != nil {
+		if b, ok := c.Oracle.(utility.ContextBinder); ok {
+			b.SetContext(c.Ctx)
+		}
+		if err := c.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ce, ok := r.(*utility.CancelError)
+			if !ok {
+				panic(r)
+			}
+			values, err = nil, ce
+		}
+	}()
+	return v.Values(c)
 }
 
 // Valuer estimates the data value of every client in the federation.

@@ -1,0 +1,99 @@
+package utility
+
+import (
+	"sync"
+
+	"fedshap/internal/combin"
+)
+
+// numShards is the shard count of the in-memory coalition cache. A power of
+// two well above typical GOMAXPROCS keeps write contention negligible while
+// the per-shard maps stay dense.
+const numShards = 64
+
+// cacheShard is one lock-striped segment of the coalition cache. Reads take
+// the read lock, so concurrent lookups of warm entries never serialise.
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[combin.Coalition]float64
+}
+
+// shardedCache is a concurrent coalition→utility map striped across
+// numShards lock-protected segments. Coalition evaluations are issued from
+// bounded worker pools (Prefetch, the valuation service), so the cache is
+// on the hot path of every worker at once; sharding by coalition hash keeps
+// those workers from serialising on a single mutex.
+type shardedCache struct {
+	shards [numShards]cacheShard
+}
+
+func newShardedCache() *shardedCache {
+	c := &shardedCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[combin.Coalition]float64)
+	}
+	return c
+}
+
+func (c *shardedCache) shard(s combin.Coalition) *cacheShard {
+	return &c.shards[s.Hash()&(numShards-1)]
+}
+
+// get returns the cached utility of s, if present.
+func (c *shardedCache) get(s combin.Coalition) (float64, bool) {
+	sh := c.shard(s)
+	sh.mu.RLock()
+	v, ok := sh.m[s]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// putIfAbsent inserts s→v unless already present, reporting whether the
+// insert happened. The first writer wins; utilities are deterministic per
+// coalition, so a lost race returns an equal value.
+func (c *shardedCache) putIfAbsent(s combin.Coalition, v float64) bool {
+	sh := c.shard(s)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[s]; ok {
+		return false
+	}
+	sh.m[s] = v
+	return true
+}
+
+// len returns the total entry count.
+func (c *shardedCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// snapshot copies every entry into a plain map.
+func (c *shardedCache) snapshot() map[combin.Coalition]float64 {
+	out := make(map[combin.Coalition]float64, c.len())
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.m {
+			out[k] = v
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// clear drops every entry.
+func (c *shardedCache) clear() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[combin.Coalition]float64)
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,171 @@
+package utility
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"fedshap/internal/combin"
+)
+
+// Benchmarks comparing the sharded coalition cache against the previous
+// single-mutex design under a Prefetch-shaped workload: a pool of workers
+// racing through a coalition list, each doing a lookup, a (cheap)
+// evaluation on miss, and an insert. The sharded cache must not regress
+// single-threaded and should scale at GOMAXPROCS workers.
+
+// coalitionCache is the seam both implementations share.
+type coalitionCache interface {
+	get(s combin.Coalition) (float64, bool)
+	putIfAbsent(s combin.Coalition, v float64) bool
+}
+
+// mutexCache replicates the pre-sharding Oracle cache: one mutex over one
+// map.
+type mutexCache struct {
+	mu sync.Mutex
+	m  map[combin.Coalition]float64
+}
+
+func newMutexCache() *mutexCache {
+	return &mutexCache{m: make(map[combin.Coalition]float64)}
+}
+
+func (c *mutexCache) get(s combin.Coalition) (float64, bool) {
+	c.mu.Lock()
+	v, ok := c.m[s]
+	c.mu.Unlock()
+	return v, ok
+}
+
+func (c *mutexCache) putIfAbsent(s combin.Coalition, v float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[s]; ok {
+		return false
+	}
+	c.m[s] = v
+	return true
+}
+
+var _ coalitionCache = (*shardedCache)(nil)
+
+var cacheImpls = []struct {
+	name string
+	mk   func() coalitionCache
+}{
+	{"sharded", func() coalitionCache { return newShardedCache() }},
+	{"mutex", func() coalitionCache { return newMutexCache() }},
+}
+
+// benchCoalitions builds a deterministic working set over 24 players.
+func benchCoalitions(n int) []combin.Coalition {
+	out := make([]combin.Coalition, n)
+	for i := range out {
+		out[i] = combin.FromMask(uint64(i) * 2654435761 % (1 << 24))
+	}
+	return out
+}
+
+// prefetchFill runs the Prefetch inner loop over the coalition list on a
+// bounded worker pool against the given cache.
+func prefetchFill(c coalitionCache, coals []combin.Coalition, workers int) {
+	work := make(chan combin.Coalition)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				if _, ok := c.get(s); ok {
+					continue
+				}
+				c.putIfAbsent(s, float64(s.Size()))
+			}
+		}()
+	}
+	for _, s := range coals {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+}
+
+// benchWorkerCounts returns deduplicated worker counts: single-threaded,
+// GOMAXPROCS, and an oversubscribed pool (which exposes lock-handoff costs
+// even on small machines).
+func benchWorkerCounts() []int {
+	counts := []int{1, runtime.GOMAXPROCS(0), 4 * runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	out := counts[:0]
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// BenchmarkCacheFill measures a full Prefetch-style fill at increasing
+// worker counts.
+func BenchmarkCacheFill(b *testing.B) {
+	coals := benchCoalitions(4096)
+	for _, impl := range cacheImpls {
+		for _, workers := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("impl=%s/workers=%d", impl.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					prefetchFill(impl.mk(), coals, workers)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCacheHotRead measures warm-cache lookups — the regime every
+// valuation algorithm's sequential bookkeeping pass runs in after a
+// prefetch — serially and with all cores hitting the cache at once.
+func BenchmarkCacheHotRead(b *testing.B) {
+	coals := benchCoalitions(4096)
+	for _, impl := range cacheImpls {
+		c := impl.mk()
+		for _, s := range coals {
+			c.putIfAbsent(s, 1)
+		}
+		b.Run("impl="+impl.name+"/serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.get(coals[i%len(coals)])
+			}
+		})
+		b.Run("impl="+impl.name+"/parallel", func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					c.get(coals[i%len(coals)])
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkOraclePrefetch exercises the real Oracle end to end with a
+// trivial evaluation function, so the cache is the dominant cost.
+func BenchmarkOraclePrefetch(b *testing.B) {
+	var coals []combin.Coalition
+	for size := 0; size <= 3; size++ {
+		combin.SubsetsOfSize(18, size, func(s combin.Coalition) { coals = append(coals, s) })
+	}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := NewOracle(18, func(s combin.Coalition) float64 { return 0 })
+				if err := o.Prefetch(context.Background(), coals, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -4,10 +4,18 @@
 // coalition bitmask — every valuation algorithm in this repo is budgeted
 // and timed in units of *distinct coalition evaluations*, matching the
 // paper's accounting where τ (one train+evaluate) dominates everything.
+//
+// The cache behind the oracle is sharded for concurrent evaluation pools
+// (Prefetch, the valuation service) and can be layered over a disk-backed
+// Store so utilities survive the process and warm later jobs. Evaluation is
+// cooperatively cancellable via a bound context.Context, and a progress
+// hook reports every fresh evaluation — together these are what let a
+// long-running service cancel jobs mid-run and stream budget consumption.
 package utility
 
 import (
-	"sync"
+	"context"
+	"sync/atomic"
 
 	"fedshap/internal/combin"
 	"fedshap/internal/dataset"
@@ -19,67 +27,142 @@ import (
 // utility.
 type EvalFunc func(s combin.Coalition) float64
 
-// Oracle memoises coalition utilities and counts fresh evaluations.
-// It is safe for concurrent use.
+// CancelError is the panic payload raised by a cancelled oracle when a
+// fresh evaluation is requested. It unwraps to the bound context's error,
+// so errors.Is(err, context.Canceled) holds after shapley.Run converts the
+// panic back into an error. Cached lookups never raise it: a cancelled job
+// may finish reading warm utilities, it just stops issuing fresh ones.
+type CancelError struct {
+	// Err is the context error that triggered cancellation.
+	Err error
+}
+
+// Error implements error.
+func (e *CancelError) Error() string { return "utility: evaluation cancelled: " + e.Err.Error() }
+
+// Unwrap exposes the context error for errors.Is.
+func (e *CancelError) Unwrap() error { return e.Err }
+
+// ContextBinder is implemented by Sources whose fresh evaluations can be
+// bound to a context for cooperative cancellation.
+type ContextBinder interface {
+	// SetContext binds ctx; once it is done, requesting a non-cached
+	// utility panics with *CancelError (recovered by shapley.Run).
+	SetContext(ctx context.Context)
+}
+
+// Oracle memoises coalition utilities in a sharded concurrent cache and
+// counts fresh evaluations. It is safe for concurrent use.
 type Oracle struct {
 	n    int
 	eval EvalFunc
 
-	mu    sync.Mutex
-	cache map[combin.Coalition]float64
-	evals int
+	cache *shardedCache
+	// evals counts distinct fresh evaluations — the consumed budget.
+	// Entries inserted via Warm (e.g. from a persistent Store) are free.
+	evals atomic.Int64
+
+	// ctx, onEval and writeThrough are set before a run and read on the
+	// evaluation path; atomic.Value keeps them race-free against
+	// concurrent U calls from a prefetch pool.
+	ctx          atomic.Value // context.Context
+	onEval       atomic.Value // func(total int)
+	writeThrough atomic.Value // func(combin.Coalition, float64)
 }
 
 // NewOracle wraps an evaluation function for a federation of n clients.
 func NewOracle(n int, eval EvalFunc) *Oracle {
-	return &Oracle{n: n, eval: eval, cache: make(map[combin.Coalition]float64)}
+	return &Oracle{n: n, eval: eval, cache: newShardedCache()}
 }
 
 // N returns the federation size.
 func (o *Oracle) N() int { return o.n }
 
+// SetContext implements ContextBinder.
+func (o *Oracle) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o.ctx.Store(ctx)
+}
+
+// OnEval registers a hook invoked after every fresh evaluation with the
+// running distinct-evaluation total. The hook may be called concurrently
+// from evaluation workers and must be cheap and thread-safe.
+func (o *Oracle) OnEval(fn func(total int)) {
+	o.onEval.Store(fn)
+}
+
+// WriteThrough registers a hook invoked with every fresh (coalition,
+// utility) pair, the seam the persistent Store attaches to.
+func (o *Oracle) WriteThrough(fn func(s combin.Coalition, u float64)) {
+	o.writeThrough.Store(fn)
+}
+
+func (o *Oracle) ctxErr() error {
+	if ctx, ok := o.ctx.Load().(context.Context); ok {
+		return ctx.Err()
+	}
+	return nil
+}
+
 // U returns the utility of coalition s, evaluating and caching on first use.
+// If a bound context is done, a cache miss panics with *CancelError.
 func (o *Oracle) U(s combin.Coalition) float64 {
-	o.mu.Lock()
-	if v, ok := o.cache[s]; ok {
-		o.mu.Unlock()
+	if v, ok := o.cache.get(s); ok {
 		return v
 	}
-	o.mu.Unlock()
-	// Evaluate outside the lock; duplicate concurrent evaluation of the
-	// same coalition is possible but harmless (deterministic result).
-	v := o.eval(s)
-	o.mu.Lock()
-	if _, ok := o.cache[s]; !ok {
-		o.cache[s] = v
-		o.evals++
+	if err := o.ctxErr(); err != nil {
+		panic(&CancelError{Err: err})
 	}
-	o.mu.Unlock()
+	// Evaluate outside any lock; duplicate concurrent evaluation of the
+	// same coalition is possible but harmless (deterministic result), and
+	// only the first insert is charged.
+	v := o.eval(s)
+	if o.cache.putIfAbsent(s, v) {
+		total := int(o.evals.Add(1))
+		if fn, ok := o.onEval.Load().(func(int)); ok && fn != nil {
+			fn(total)
+		}
+		if fn, ok := o.writeThrough.Load().(func(combin.Coalition, float64)); ok && fn != nil {
+			fn(s, v)
+		}
+	}
 	return v
 }
 
-// Cached reports whether s has already been evaluated.
+// Cached reports whether s has already been evaluated (or warmed).
 func (o *Oracle) Cached(s combin.Coalition) bool {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	_, ok := o.cache[s]
+	_, ok := o.cache.get(s)
 	return ok
 }
 
 // Evals returns the number of distinct coalitions evaluated so far — the
-// consumed sampling budget.
+// consumed sampling budget. Warmed entries are not counted.
 func (o *Oracle) Evals() int {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.evals
+	return int(o.evals.Load())
 }
+
+// Warm inserts known utilities without charging the evaluation budget —
+// the loading path for persisted or otherwise pre-computed coalitions. It
+// returns how many entries were new.
+func (o *Oracle) Warm(entries map[combin.Coalition]float64) int {
+	added := 0
+	for s, v := range entries {
+		if o.cache.putIfAbsent(s, v) {
+			added++
+		}
+	}
+	return added
+}
+
+// Size returns the number of cached coalitions (fresh plus warmed).
+func (o *Oracle) Size() int { return o.cache.len() }
 
 // Reset clears the cache and the evaluation counter.
 func (o *Oracle) Reset() {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.cache = make(map[combin.Coalition]float64)
-	o.evals = 0
+	o.cache.clear()
+	o.evals.Store(0)
 }
 
 // Metric scores a trained model on a test set.
@@ -116,13 +199,7 @@ func NewFLOracle(spec FLSpec) *Oracle {
 
 // Snapshot returns a copy of the cache, for tests and reporting.
 func (o *Oracle) Snapshot() map[combin.Coalition]float64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	out := make(map[combin.Coalition]float64, len(o.cache))
-	for k, v := range o.cache {
-		out[k] = v
-	}
-	return out
+	return o.cache.snapshot()
 }
 
 // TableOracle builds an oracle from an explicit utility table, used by the

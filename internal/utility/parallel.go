@@ -1,6 +1,7 @@
 package utility
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -11,13 +12,18 @@ import (
 // pool and caches the results, so that a subsequent single-threaded
 // valuation pass (which is where the algorithmic bookkeeping lives) hits a
 // warm cache. workers <= 0 selects GOMAXPROCS. Duplicate and
-// already-cached coalitions are skipped.
+// already-cached coalitions are skipped. When ctx is cancelled the pool
+// stops issuing fresh evaluations and Prefetch returns the context error;
+// utilities evaluated before the cancellation stay cached.
 //
 // This mirrors the paper's implementation note: coalition evaluations are
 // embarrassingly parallel because each trains an independent model, so the
 // wall-clock of every algorithm scales down by the worker count while the
 // budget accounting (distinct evaluations) is unchanged.
-func (o *Oracle) Prefetch(coalitions []combin.Coalition, workers int) {
+func (o *Oracle) Prefetch(ctx context.Context, coalitions []combin.Coalition, workers int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -34,7 +40,7 @@ func (o *Oracle) Prefetch(coalitions []combin.Coalition, workers int) {
 		}
 	}
 	if len(pending) == 0 {
-		return
+		return ctx.Err()
 	}
 	if workers > len(pending) {
 		workers = len(pending)
@@ -46,7 +52,10 @@ func (o *Oracle) Prefetch(coalitions []combin.Coalition, workers int) {
 		go func() {
 			defer wg.Done()
 			for s := range work {
-				o.U(s)
+				if ctx.Err() != nil {
+					continue // drain the channel without evaluating
+				}
+				o.safeU(s)
 			}
 		}()
 	}
@@ -55,16 +64,31 @@ func (o *Oracle) Prefetch(coalitions []combin.Coalition, workers int) {
 	}
 	close(work)
 	wg.Wait()
+	return ctx.Err()
+}
+
+// safeU evaluates one coalition, swallowing the cancellation panic a bound
+// oracle context may raise mid-pool; other panics propagate.
+func (o *Oracle) safeU(s combin.Coalition) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*CancelError); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	o.U(s)
 }
 
 // PrefetchStrata warms the cache with every coalition of size ≤ k — the
 // exact set IPSS evaluates exhaustively (its "key combinations").
-func (o *Oracle) PrefetchStrata(k, workers int) {
+func (o *Oracle) PrefetchStrata(ctx context.Context, k, workers int) error {
 	var all []combin.Coalition
 	for size := 0; size <= k && size <= o.n; size++ {
 		combin.SubsetsOfSize(o.n, size, func(s combin.Coalition) {
 			all = append(all, s)
 		})
 	}
-	o.Prefetch(all, workers)
+	return o.Prefetch(ctx, all, workers)
 }

@@ -1,6 +1,7 @@
 package utility
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestPrefetchWarmsCache(t *testing.T) {
 	})
 	var want []combin.Coalition
 	combin.SubsetsOfSize(5, 2, func(s combin.Coalition) { want = append(want, s) })
-	o.Prefetch(want, 4)
+	o.Prefetch(context.Background(), want, 4)
 	if got := o.Evals(); got != len(want) {
 		t.Errorf("prefetched %d, want %d", got, len(want))
 	}
@@ -35,7 +36,7 @@ func TestPrefetchDeduplicates(t *testing.T) {
 		return 0
 	})
 	s := combin.NewCoalition(0, 1)
-	o.Prefetch([]combin.Coalition{s, s, s, combin.Empty, combin.Empty}, 2)
+	o.Prefetch(context.Background(), []combin.Coalition{s, s, s, combin.Empty, combin.Empty}, 2)
 	if got := atomic.LoadInt64(&calls); got != 2 {
 		t.Errorf("calls = %d, want 2 (dedup)", got)
 	}
@@ -48,7 +49,7 @@ func TestPrefetchSkipsCached(t *testing.T) {
 		return 0
 	})
 	o.U(combin.Empty)
-	o.Prefetch([]combin.Coalition{combin.Empty}, 1)
+	o.Prefetch(context.Background(), []combin.Coalition{combin.Empty}, 1)
 	if got := atomic.LoadInt64(&calls); got != 1 {
 		t.Errorf("calls = %d, want 1", got)
 	}
@@ -56,7 +57,7 @@ func TestPrefetchSkipsCached(t *testing.T) {
 
 func TestPrefetchStrata(t *testing.T) {
 	o := NewOracle(5, func(s combin.Coalition) float64 { return 0 })
-	o.PrefetchStrata(2, 3)
+	o.PrefetchStrata(context.Background(), 2, 3)
 	// 1 + 5 + 10 = 16 coalitions of size ≤ 2.
 	if got := o.Evals(); got != 16 {
 		t.Errorf("evals = %d, want 16", got)
@@ -65,7 +66,7 @@ func TestPrefetchStrata(t *testing.T) {
 
 func TestPrefetchEmptyInput(t *testing.T) {
 	o := NewOracle(3, func(s combin.Coalition) float64 { return 0 })
-	o.Prefetch(nil, 4) // must not hang or panic
+	o.Prefetch(context.Background(), nil, 4) // must not hang or panic
 	if o.Evals() != 0 {
 		t.Errorf("evals = %d", o.Evals())
 	}

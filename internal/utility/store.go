@@ -1,0 +1,164 @@
+package utility
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"fedshap/internal/combin"
+)
+
+// Store is a disk-backed coalition-utility cache shared across processes
+// and jobs: one append-only JSON-lines file per problem fingerprint. Every
+// coalition evaluation trains a full FL model, so persisted utilities are
+// the expensive asset the valuation service reuses — a resubmitted job
+// loads its fingerprint's file and finishes with zero fresh evaluations.
+//
+// The append-only format makes concurrent write-through crash-safe: a torn
+// final line is skipped on load, and duplicate records (two processes
+// evaluating the same coalition) are harmless because utilities are
+// deterministic per fingerprint.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[string]*os.File // open append handles per fingerprint
+	err   error               // first write error, reported by Close
+}
+
+// storeRecord is the JSONL schema for one persisted utility.
+type storeRecord struct {
+	Lo uint64  `json:"lo"`
+	Hi uint64  `json:"hi,omitempty"`
+	U  float64 `json:"u"`
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("utility: open store: %w", err)
+	}
+	return &Store{dir: dir, files: make(map[string]*os.File)}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(fingerprint string) string {
+	return filepath.Join(st.dir, fingerprint+".jsonl")
+}
+
+// checkFingerprint guards against path traversal via untrusted fingerprints.
+func checkFingerprint(fp string) error {
+	if fp == "" || strings.ContainsAny(fp, "/\\.") {
+		return fmt.Errorf("utility: invalid fingerprint %q", fp)
+	}
+	return nil
+}
+
+// Load reads every persisted utility for a fingerprint. A missing file is
+// an empty cache, not an error; malformed lines (torn tail writes) are
+// skipped.
+func (st *Store) Load(fingerprint string) (map[combin.Coalition]float64, error) {
+	if err := checkFingerprint(fingerprint); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(st.path(fingerprint))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[combin.Coalition]float64{}, nil
+		}
+		return nil, fmt.Errorf("utility: load store: %w", err)
+	}
+	defer f.Close()
+	out := make(map[combin.Coalition]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var rec storeRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue
+		}
+		out[combin.FromWords(rec.Lo, rec.Hi)] = rec.U
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("utility: load store: %w", err)
+	}
+	return out, nil
+}
+
+// Append durably records one utility under a fingerprint. The append
+// handle stays open for the store's lifetime, so per-evaluation overhead
+// is one encode + write syscall.
+func (st *Store) Append(fingerprint string, s combin.Coalition, u float64) error {
+	if err := checkFingerprint(fingerprint); err != nil {
+		return err
+	}
+	line, err := json.Marshal(func() storeRecord {
+		lo, hi := s.Words()
+		return storeRecord{Lo: lo, Hi: hi, U: u}
+	}())
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f, ok := st.files[fingerprint]
+	if !ok {
+		f, err = os.OpenFile(st.path(fingerprint), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			st.recordErr(err)
+			return err
+		}
+		st.files[fingerprint] = f
+	}
+	if _, err := f.Write(line); err != nil {
+		st.recordErr(err)
+		return err
+	}
+	return nil
+}
+
+// recordErr keeps the first write failure for Close. Callers on the
+// evaluation hot path deliberately ignore per-record errors (persistence
+// must not fail a valuation), so Close is where they surface.
+func (st *Store) recordErr(err error) {
+	if st.err == nil {
+		st.err = err
+	}
+}
+
+// Attach layers the store under an oracle for one problem fingerprint:
+// persisted utilities warm the cache without charging the budget, and
+// every fresh evaluation is written through. It returns the number of
+// warmed coalitions.
+func (st *Store) Attach(o *Oracle, fingerprint string) (int, error) {
+	entries, err := st.Load(fingerprint)
+	if err != nil {
+		return 0, err
+	}
+	warmed := o.Warm(entries)
+	o.WriteThrough(func(s combin.Coalition, u float64) {
+		_ = st.Append(fingerprint, s, u) // surfaced by Close
+	})
+	return warmed, nil
+}
+
+// Close flushes and closes every open fingerprint file, returning the
+// first write error encountered during the store's lifetime.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for fp, f := range st.files {
+		if err := f.Close(); err != nil {
+			st.recordErr(err)
+		}
+		delete(st.files, fp)
+	}
+	return st.err
+}

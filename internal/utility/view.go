@@ -1,6 +1,10 @@
 package utility
 
-import "fedshap/internal/combin"
+import (
+	"context"
+
+	"fedshap/internal/combin"
+)
 
 // Source is what valuation algorithms consume: coalition utilities plus the
 // budget accounting they self-limit against. *Oracle implements it; RunView
@@ -57,3 +61,9 @@ func (v *RunView) Cached(s combin.Coalition) bool {
 
 // Evals implements Source: distinct coalitions requested by this run.
 func (v *RunView) Evals() int { return len(v.seen) }
+
+// SetContext implements ContextBinder by binding the underlying oracle, so
+// cancelling a run cancels the fresh evaluations it would trigger.
+func (v *RunView) SetContext(ctx context.Context) { v.o.SetContext(ctx) }
+
+var _ ContextBinder = (*RunView)(nil)

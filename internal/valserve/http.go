@@ -1,0 +1,91 @@
+package valserve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"fedshap"
+)
+
+// NewHandler exposes a Manager as the fedvald JSON API:
+//
+//	POST   /v1/jobs             submit a job (fedshap.JobRequest → JobStatus)
+//	GET    /v1/jobs             list jobs, newest first
+//	GET    /v1/jobs/{id}        poll one job's status and progress
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/report fetch a finished job's valuation report
+//	GET    /healthz             liveness probe
+//
+// Errors are returned as {"error": "..."} with a matching status code.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req fedshap.JobRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+			return
+		}
+		st, err := m.Submit(req)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+			case errors.Is(err, ErrClosed):
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+			default:
+				writeError(w, http.StatusBadRequest, err.Error())
+			}
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		if st.Report == nil {
+			writeError(w, http.StatusConflict, "job has no report yet: state="+string(st.State))
+			return
+		}
+		writeJSON(w, http.StatusOK, st.Report)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,399 @@
+package valserve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fedshap"
+	"fedshap/internal/experiments"
+	"fedshap/internal/shapley"
+	"fedshap/internal/utility"
+)
+
+// Config tunes a Manager.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (default 2).
+	// Each job additionally parallelises its own coalition evaluations.
+	Workers int
+	// EvalWorkers bounds one job's concurrent coalition evaluations when
+	// the request doesn't say (0 = GOMAXPROCS).
+	EvalWorkers int
+	// QueueCap bounds pending jobs; Submit fails when full (default 64).
+	QueueCap int
+	// CacheDir roots the persistent utility store; "" disables
+	// persistence.
+	CacheDir string
+	// BuildProblem overrides problem construction. Tests inject synthetic
+	// games; nil uses the experiments constructors (and strict dataset
+	// validation).
+	BuildProblem func(req fedshap.JobRequest) (*experiments.Problem, error)
+}
+
+// Job is one tracked valuation job. All mutation goes through its methods;
+// external readers get immutable snapshots.
+type Job struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	status fedshap.JobStatus
+}
+
+// snapshot returns a copy safe to serialise concurrently with updates.
+func (j *Job) snapshot() *fedshap.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.status
+	if j.status.StartedAt != nil {
+		t := *j.status.StartedAt
+		st.StartedAt = &t
+	}
+	if j.status.FinishedAt != nil {
+		t := *j.status.FinishedAt
+		st.FinishedAt = &t
+	}
+	return &st
+}
+
+// markRunning moves queued → running, reporting false if the job was
+// cancelled while waiting. A context cancelled before start (Manager.Close)
+// terminates the job here, before any expensive problem construction.
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State != fedshap.JobQueued {
+		return false
+	}
+	now := time.Now().UTC()
+	if j.ctx.Err() != nil {
+		j.status.State = fedshap.JobCancelled
+		j.status.Error = "cancelled before start"
+		j.status.FinishedAt = &now
+		return false
+	}
+	j.status.State = fedshap.JobRunning
+	j.status.StartedAt = &now
+	return true
+}
+
+// setFresh records progress from the oracle's evaluation hook; the counter
+// is monotone even under concurrent evaluation workers.
+func (j *Job) setFresh(total int) {
+	j.mu.Lock()
+	if total > j.status.FreshEvals {
+		j.status.FreshEvals = total
+	}
+	j.mu.Unlock()
+}
+
+func (j *Job) setWarmed(n int) {
+	j.mu.Lock()
+	j.status.WarmedCoalitions = n
+	j.mu.Unlock()
+}
+
+func (j *Job) setProblem(name string) {
+	j.mu.Lock()
+	j.status.Problem = name
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state.
+func (j *Job) finish(state fedshap.JobState, errMsg string, report *fedshap.Report) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State.Terminal() {
+		return
+	}
+	now := time.Now().UTC()
+	j.status.State = state
+	j.status.Error = errMsg
+	j.status.Report = report
+	j.status.FinishedAt = &now
+}
+
+// Manager queues, executes, observes and cancels valuation jobs over a
+// bounded worker pool and a shared persistent utility store.
+type Manager struct {
+	cfg   Config
+	store *utility.Store
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	seq    int
+	closed bool
+}
+
+// ErrQueueFull is returned by Submit when the pending queue is at capacity.
+var ErrQueueFull = errors.New("valserve: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("valserve: manager closed")
+
+// ErrNotFound is returned for unknown job IDs.
+var ErrNotFound = errors.New("valserve: job not found")
+
+// NewManager opens the persistent store (if configured) and starts the
+// worker pool.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	m := &Manager{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueCap),
+		jobs:  make(map[string]*Job),
+	}
+	if cfg.CacheDir != "" {
+		st, err := utility.OpenStore(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		m.store = st
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.runJob(j)
+			}
+		}()
+	}
+	return m, nil
+}
+
+// Store exposes the persistent utility store (nil when persistence is
+// disabled), for inspection and tests.
+func (m *Manager) Store() *utility.Store { return m.store }
+
+// newID mints a unique job identifier: a submission ordinal plus random
+// suffix.
+func (m *Manager) newID() string {
+	var b [4]byte
+	_, _ = rand.Read(b[:])
+	m.seq++
+	return fmt.Sprintf("j%04d-%s", m.seq, hex.EncodeToString(b[:]))
+}
+
+// Submit validates, registers and enqueues a job, returning its initial
+// status.
+func (m *Manager) Submit(req fedshap.JobRequest) (*fedshap.JobStatus, error) {
+	Normalize(&req)
+	if err := ValidateRequest(req, m.cfg.BuildProblem != nil); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{ctx: ctx, cancel: cancel}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrClosed
+	}
+	j.status = fedshap.JobStatus{
+		ID:          m.newID(),
+		State:       fedshap.JobQueued,
+		Request:     req,
+		Fingerprint: Fingerprint(req),
+		Budget:      budgetFor(req),
+		SubmittedAt: time.Now().UTC(),
+	}
+	m.jobs[j.status.ID] = j
+	var enqueued bool
+	select {
+	case m.queue <- j:
+		enqueued = true
+	default:
+	}
+	if !enqueued {
+		delete(m.jobs, j.status.ID)
+	}
+	m.mu.Unlock()
+	if !enqueued {
+		cancel()
+		return nil, ErrQueueFull
+	}
+	return j.snapshot(), nil
+}
+
+// Get returns the status of one job.
+func (m *Manager) Get(id string) (*fedshap.JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// List returns every job, newest submission first.
+func (m *Manager) List() []*fedshap.JobStatus {
+	m.mu.Lock()
+	out := make([]*fedshap.JobStatus, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.snapshot())
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].SubmittedAt.Equal(out[b].SubmittedAt) {
+			return out[a].SubmittedAt.After(out[b].SubmittedAt)
+		}
+		return out[a].ID > out[b].ID
+	})
+	return out
+}
+
+// Cancel stops a job: a queued job terminates immediately, a running job
+// stops before its next fresh coalition evaluation (already-cached
+// utilities may still be read). Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (*fedshap.JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	if j.status.State == fedshap.JobQueued {
+		now := time.Now().UTC()
+		j.status.State = fedshap.JobCancelled
+		j.status.Error = "cancelled while queued"
+		j.status.FinishedAt = &now
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return j.snapshot(), nil
+}
+
+// Close cancels every live job, drains the workers and closes the store.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	close(m.queue)
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+	m.wg.Wait()
+	if m.store != nil {
+		return m.store.Close()
+	}
+	return nil
+}
+
+// buildProblem dispatches to the injected builder or the experiments
+// constructors.
+func (m *Manager) buildProblem(req fedshap.JobRequest) (*experiments.Problem, error) {
+	if m.cfg.BuildProblem != nil {
+		return m.cfg.BuildProblem(req)
+	}
+	return BuildProblem(req)
+}
+
+// runJob executes one job on the worker pool. Algorithm or substrate
+// panics become job failures, not daemon crashes.
+func (m *Manager) runJob(j *Job) {
+	if !j.markRunning() {
+		return // cancelled while queued
+	}
+	defer j.cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			j.finish(fedshap.JobFailed, fmt.Sprintf("panic: %v", r), nil)
+		}
+	}()
+
+	req := j.snapshot().Request
+	alg, err := NewValuer(req.Algorithm, req.Gamma, req.K)
+	if err != nil {
+		j.finish(fedshap.JobFailed, err.Error(), nil)
+		return
+	}
+	p, err := m.buildProblem(req)
+	if err != nil {
+		j.finish(fedshap.JobFailed, err.Error(), nil)
+		return
+	}
+	j.setProblem(p.Name)
+
+	oracle := p.Oracle()
+	if m.store != nil {
+		warmed, err := m.store.Attach(oracle, j.snapshot().Fingerprint)
+		if err != nil {
+			j.finish(fedshap.JobFailed, err.Error(), nil)
+			return
+		}
+		j.setWarmed(warmed)
+	}
+	oracle.OnEval(j.setFresh)
+
+	// Evaluate the algorithm's deterministic plan on the job's evaluation
+	// pool first; the sequential valuation pass then runs against a warm
+	// cache. Cancellation mid-prefetch falls through to shapley.Run, which
+	// reports it uniformly.
+	evalWorkers := req.Workers
+	if evalWorkers <= 0 {
+		evalWorkers = m.cfg.EvalWorkers
+	}
+	if evalWorkers <= 0 {
+		evalWorkers = runtime.GOMAXPROCS(0)
+	}
+	if pf, ok := alg.(shapley.Prefetchable); ok && evalWorkers > 1 {
+		_ = oracle.Prefetch(j.ctx, pf.PrefetchPlan(p.N), evalWorkers)
+	}
+
+	// The algorithm runs against a per-job budget view, not the raw
+	// oracle: budget-gated samplers loop on Evals() < γ, and warmed
+	// entries deliberately don't count as fresh evaluations — without the
+	// view, a warm cache would make such a sampler draw far past its
+	// budget over cached lookups. The view charges every distinct
+	// coalition this run requests (warm or fresh), exactly as a fresh
+	// oracle would, while FreshEvals/Report keep counting only real
+	// training work.
+	start := time.Now()
+	view := utility.NewRunView(oracle)
+	sctx := shapley.NewContext(view, req.Seed+2).WithSpec(p.Spec).WithContext(j.ctx)
+	values, err := shapley.Run(sctx, alg)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			j.finish(fedshap.JobCancelled, err.Error(), nil)
+		} else {
+			j.finish(fedshap.JobFailed, err.Error(), nil)
+		}
+		return
+	}
+	names := make([]string, p.N)
+	for i := range names {
+		names[i] = fmt.Sprintf("client-%d", i)
+	}
+	j.finish(fedshap.JobDone, "", &fedshap.Report{
+		Algorithm:   alg.Name(),
+		Values:      values,
+		Names:       names,
+		Seconds:     elapsed,
+		Evaluations: oracle.Evals(),
+	})
+}

@@ -1,0 +1,233 @@
+// Package valserve is the valuation job service behind the fedvald daemon:
+// a bounded worker pool executing valuation jobs (dataset family + model +
+// federation size + algorithm, mirroring the fedval CLI) with cooperative
+// cancellation, live progress against the sampling budget γ, and a
+// persistent sharded utility cache keyed by problem fingerprint so
+// resubmitted and follow-up jobs start warm.
+//
+// Utilities are the expensive asset — each is a full federated training
+// run — so the service's whole design centres on never evaluating a
+// coalition twice: the in-memory cache is sharded for the evaluation pool,
+// the disk store survives the process, and budget accounting (fresh
+// evaluations) distinguishes new work from reuse.
+package valserve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"fedshap"
+	"fedshap/internal/experiments"
+	"fedshap/internal/shapley"
+)
+
+// Normalize fills a request's defaulted fields in place (dataset family,
+// model, scale, seed, synthetic setup, budget), so that equal jobs have
+// equal wire forms and equal fingerprints.
+func Normalize(req *fedshap.JobRequest) {
+	req.Data = strings.ToLower(strings.TrimSpace(req.Data))
+	req.Model = strings.ToLower(strings.TrimSpace(req.Model))
+	req.Algorithm = strings.ToLower(strings.TrimSpace(req.Algorithm))
+	req.Scale = strings.ToLower(strings.TrimSpace(req.Scale))
+	req.Setup = strings.ToLower(strings.TrimSpace(req.Setup))
+	if req.Data == "" {
+		req.Data = "femnist"
+	}
+	if req.Model == "" {
+		req.Model = "mlp"
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "ipss"
+	}
+	if req.Scale == "" {
+		req.Scale = "small"
+	}
+	if req.Data == "synthetic" && req.Setup == "" {
+		req.Setup = string(experiments.SameSizeSameDist)
+	}
+	if req.Data != "synthetic" {
+		req.Setup = ""
+		req.Noise = 0
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Gamma == 0 {
+		req.Gamma = experiments.GammaForN(req.N)
+	}
+	if req.K == 0 {
+		req.K = 2
+	}
+}
+
+// Fingerprint derives the persistent-cache key of a request's underlying
+// valuation problem. Only problem-defining fields participate: the
+// algorithm, its budget and probe depth are properties of the sampler, not
+// of the utility function, so an IPSS job warms a later exact job on the
+// same federation. Normalize first.
+func Fingerprint(req fedshap.JobRequest) string {
+	canon := fmt.Sprintf("v1|data=%s|setup=%s|noise=%g|model=%s|n=%d|scale=%s|seed=%d",
+		req.Data, req.Setup, req.Noise, req.Model, req.N, req.Scale, req.Seed)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:16])
+}
+
+// ParseModel maps a wire model name to the experiments model family.
+func ParseModel(s string) (experiments.ModelKind, error) {
+	switch strings.ToLower(s) {
+	case "mlp":
+		return experiments.MLP, nil
+	case "cnn":
+		return experiments.CNN, nil
+	case "xgb":
+		return experiments.XGB, nil
+	case "logreg":
+		return experiments.LogReg, nil
+	case "deepmlp":
+		return experiments.DeepMLP, nil
+	default:
+		return "", fmt.Errorf("unknown model %q", s)
+	}
+}
+
+// ParseScale maps a wire scale name to the experiments substrate scale.
+func ParseScale(s string) (experiments.Scale, error) {
+	switch strings.ToLower(s) {
+	case "", "small":
+		return experiments.Small(), nil
+	case "tiny":
+		return experiments.Tiny(), nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q", s)
+	}
+}
+
+// NewValuer builds the valuation algorithm named by a request (the same
+// vocabulary as the fedval -alg flag).
+func NewValuer(name string, gamma, k int) (shapley.Valuer, error) {
+	switch strings.ToLower(name) {
+	case "ipss":
+		return shapley.NewIPSS(gamma), nil
+	case "ipss-rescaled":
+		return &shapley.IPSS{Gamma: gamma, RescaleSampledStratum: true}, nil
+	case "exact", "mc":
+		return shapley.ExactMC{}, nil
+	case "perm":
+		return shapley.ExactPerm{}, nil
+	case "stratified-mc":
+		return shapley.NewStratified(shapley.MC, gamma), nil
+	case "stratified-cc":
+		return shapley.NewStratified(shapley.CC, gamma), nil
+	case "kgreedy":
+		return &shapley.KGreedy{K: k}, nil
+	case "tmc":
+		return shapley.NewTMC(gamma), nil
+	case "gtb":
+		return shapley.NewGTB(gamma), nil
+	case "ccshapley":
+		return shapley.NewCCShapley(gamma), nil
+	case "digfl":
+		return shapley.DIGFL{}, nil
+	case "or":
+		return shapley.OR{}, nil
+	case "lambdamr":
+		return &shapley.LambdaMR{}, nil
+	case "gtg":
+		return &shapley.GTGShapley{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// exactFamily reports whether the algorithm enumerates the full power set.
+func exactFamily(name string) bool {
+	switch strings.ToLower(name) {
+	case "exact", "mc", "perm":
+		return true
+	}
+	return false
+}
+
+// maxExactN bounds the federation size the daemon accepts for power-set
+// algorithms: beyond it, 2ⁿ trainings are infeasible for a service and the
+// enumeration guards in combin would panic long before finishing.
+const maxExactN = 25
+
+// budgetFor resolves the progress denominator a job reports against: the
+// sampling budget γ for budgeted algorithms, 2ⁿ for the exact family.
+func budgetFor(req fedshap.JobRequest) int {
+	if exactFamily(req.Algorithm) && req.N <= maxExactN {
+		return 1 << uint(req.N)
+	}
+	return req.Gamma
+}
+
+// ValidateRequest checks a normalized request without building datasets.
+// When lenientData is true the dataset/model vocabulary is not enforced
+// (managers with an injected problem builder accept arbitrary families).
+func ValidateRequest(req fedshap.JobRequest, lenientData bool) error {
+	if req.N < 2 || req.N > 127 {
+		return fmt.Errorf("n=%d out of range [2,127]", req.N)
+	}
+	if _, err := NewValuer(req.Algorithm, req.Gamma, req.K); err != nil {
+		return err
+	}
+	if exactFamily(req.Algorithm) && req.N > maxExactN {
+		return fmt.Errorf("algorithm %q enumerates 2^n coalitions; n=%d exceeds the service limit %d",
+			req.Algorithm, req.N, maxExactN)
+	}
+	if req.Gamma < 0 {
+		return fmt.Errorf("gamma=%d must be non-negative", req.Gamma)
+	}
+	if lenientData {
+		return nil
+	}
+	if _, err := ParseScale(req.Scale); err != nil {
+		return err
+	}
+	if _, err := ParseModel(req.Model); err != nil {
+		return err
+	}
+	switch req.Data {
+	case "femnist", "adult":
+	case "synthetic":
+		valid := false
+		for _, s := range experiments.AllSyntheticSetups() {
+			if req.Setup == string(s) {
+				valid = true
+			}
+		}
+		if !valid {
+			return fmt.Errorf("unknown synthetic setup %q", req.Setup)
+		}
+	default:
+		return fmt.Errorf("unknown dataset %q (the service accepts femnist | adult | synthetic)", req.Data)
+	}
+	return nil
+}
+
+// BuildProblem constructs the valuation problem for a normalized request
+// using the experiments constructors — the same problems the paper's
+// tables are built from.
+func BuildProblem(req fedshap.JobRequest) (*experiments.Problem, error) {
+	sc, err := ParseScale(req.Scale)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := ParseModel(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	switch req.Data {
+	case "femnist":
+		return experiments.NewFEMNISTProblem(req.N, kind, sc, req.Seed), nil
+	case "adult":
+		return experiments.NewAdultProblem(req.N, kind, sc, req.Seed), nil
+	case "synthetic":
+		return experiments.NewSyntheticProblem(experiments.SyntheticSetup(req.Setup), req.N, kind, sc, req.Noise, req.Seed), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", req.Data)
+	}
+}

@@ -1,0 +1,242 @@
+package fedshap
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Valuation job service wire API: the JSON types exchanged between the
+// fedvald daemon (internal/valserve) and its clients, plus a small HTTP
+// client. They live in the root package so external programs can submit
+// jobs without importing internals.
+
+// JobState is the lifecycle state of a valuation job.
+type JobState string
+
+// The job lifecycle: Queued → Running → one of the terminal states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobRequest describes a valuation job, mirroring the fedval CLI flags:
+// pick a dataset family, a model, a federation size and an algorithm.
+type JobRequest struct {
+	// Data is the dataset family: femnist | adult | synthetic.
+	Data string `json:"data"`
+	// Setup selects the synthetic partition setup (synthetic only).
+	Setup string `json:"setup,omitempty"`
+	// Noise is the noise level for the noisy synthetic setups.
+	Noise float64 `json:"noise,omitempty"`
+	// Model is the FL model family: mlp | cnn | xgb | logreg | deepmlp.
+	Model string `json:"model"`
+	// N is the federation size (2..127).
+	N int `json:"n"`
+	// Algorithm names the valuation algorithm (ipss, exact, tmc, ...).
+	Algorithm string `json:"algorithm"`
+	// Gamma is the sampling budget γ; 0 selects the paper's policy.
+	Gamma int `json:"gamma,omitempty"`
+	// K is the K-Greedy probe depth.
+	K int `json:"k,omitempty"`
+	// Seed drives dataset generation, training and sampling.
+	Seed int64 `json:"seed,omitempty"`
+	// Scale is the substrate scale: tiny | small.
+	Scale string `json:"scale,omitempty"`
+	// Workers bounds the job's concurrent coalition evaluations
+	// (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// JobStatus is the service's view of one job.
+type JobStatus struct {
+	// ID is the server-assigned job identifier.
+	ID string `json:"id"`
+	// State is the current lifecycle state.
+	State JobState `json:"state"`
+	// Request echoes the submitted job.
+	Request JobRequest `json:"request"`
+	// Problem names the constructed valuation problem.
+	Problem string `json:"problem,omitempty"`
+	// Fingerprint identifies the problem in the persistent utility cache.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Budget is the resolved sampling budget γ.
+	Budget int `json:"budget"`
+	// FreshEvals counts fresh coalition evaluations so far — progress
+	// toward Budget. It only ever increases while the job runs.
+	FreshEvals int `json:"fresh_evals"`
+	// WarmedCoalitions counts utilities preloaded from the persistent
+	// cache; a fully warm job finishes with FreshEvals == 0.
+	WarmedCoalitions int `json:"warmed_coalitions"`
+	// Error describes a failure (state failed or cancelled).
+	Error string `json:"error,omitempty"`
+	// SubmittedAt/StartedAt/FinishedAt bound the job's lifecycle.
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Report is the valuation outcome (state done only).
+	Report *Report `json:"report,omitempty"`
+}
+
+// ServiceError is a non-2xx daemon response.
+type ServiceError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *ServiceError) Error() string {
+	return fmt.Sprintf("fedshap: service: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// ErrJobNotFound is reported for unknown job IDs.
+var ErrJobNotFound = errors.New("fedshap: job not found")
+
+// ServiceClient talks to a fedvald daemon.
+type ServiceClient struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8787".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when set.
+	HTTPClient *http.Client
+}
+
+// NewServiceClient builds a client for the daemon at base.
+func NewServiceClient(base string) *ServiceClient {
+	return &ServiceClient{BaseURL: strings.TrimRight(base, "/")}
+}
+
+func (c *ServiceClient) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *ServiceClient) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		if resp.StatusCode == http.StatusNotFound {
+			return ErrJobNotFound
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &ServiceError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a valuation job and returns its initial status.
+func (c *ServiceClient) Submit(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches the current status of one job.
+func (c *ServiceClient) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists every job the daemon knows, newest first.
+func (c *ServiceClient) Jobs(ctx context.Context) ([]*JobStatus, error) {
+	var out []*JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Cancel requests cancellation of a queued or running job and returns the
+// resulting status.
+func (c *ServiceClient) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Report fetches the final report of a completed job.
+func (c *ServiceClient) Report(ctx context.Context, id string) (*Report, error) {
+	var r Report
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/report", nil, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Wait polls the job every interval until it reaches a terminal state or
+// ctx is done. onPoll, when non-nil, observes every polled status — the
+// hook progress bars attach to.
+func (c *ServiceClient) Wait(ctx context.Context, id string, interval time.Duration, onPoll func(*JobStatus)) (*JobStatus, error) {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if onPoll != nil {
+			onPoll(st)
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
