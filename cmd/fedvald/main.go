@@ -7,6 +7,15 @@
 //
 //	fedvald -addr 127.0.0.1:8787 -cache-dir fedval-cache -workers 2
 //
+// With -worker-addr set, the daemon also accepts a fleet of remote
+// evaluation workers (cmd/fedvalworker) and fans each job's coalition
+// evaluations out across them; jobs evaluate in-process while no workers
+// are attached. The worker listener is unauthenticated — anything that
+// can reach it can register and return utilities — so bind it to a
+// trusted network only:
+//
+//	fedvald -addr 127.0.0.1:8787 -worker-addr 10.0.0.5:8788
+//
 // Submit and track jobs with `fedval -server http://127.0.0.1:8787 ...` or
 // plain HTTP:
 //
@@ -27,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"fedshap/internal/evalnet"
 	"fedshap/internal/valserve"
 )
 
@@ -37,14 +47,27 @@ func main() {
 		evalWorkers = flag.Int("eval-workers", 0, "concurrent coalition evaluations per job (0 = GOMAXPROCS)")
 		queueCap    = flag.Int("queue", 64, "pending-job queue capacity")
 		cacheDir    = flag.String("cache-dir", "fedval-cache", "persistent utility cache directory (empty disables persistence)")
+		workerAddr  = flag.String("worker-addr", "", "listen address for remote evaluation workers (fedvalworker); empty disables the fleet")
 	)
 	flag.Parse()
+
+	var coord *evalnet.Coordinator
+	if *workerAddr != "" {
+		wln, err := net.Listen("tcp", *workerAddr)
+		if err != nil {
+			fatal(err)
+		}
+		coord = evalnet.NewCoordinator()
+		go func() { _ = coord.Serve(wln) }()
+		fmt.Fprintf(os.Stderr, "fedvald: accepting evaluation workers on %s\n", wln.Addr())
+	}
 
 	mgr, err := valserve.NewManager(valserve.Config{
 		Workers:     *workers,
 		EvalWorkers: *evalWorkers,
 		QueueCap:    *queueCap,
 		CacheDir:    *cacheDir,
+		Coordinator: coord,
 	})
 	if err != nil {
 		fatal(err)
@@ -76,6 +99,9 @@ func main() {
 	_ = srv.Shutdown(shutdownCtx)
 	if err := mgr.Close(); err != nil {
 		fatal(err)
+	}
+	if coord != nil {
+		_ = coord.Close()
 	}
 }
 

@@ -1,0 +1,70 @@
+// Command fedvalworker is a remote coalition-evaluation worker: it dials a
+// fedvald coordinator (fedvald -worker-addr), registers its capacity, and
+// serves federated-training evaluations for the jobs the daemon fans out.
+// Datasets and training are rebuilt deterministically from each job's spec,
+// so a fleet of workers produces bit-identical values to in-process
+// evaluation — only faster.
+//
+// Usage:
+//
+//	fedvalworker -coordinator 10.0.0.5:8788 -capacity 4 -name rack1-a
+//
+// The worker reconnects with backoff when the coordinator restarts, and
+// exits cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"fedshap/internal/evalnet"
+	"fedshap/internal/valserve"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "127.0.0.1:8788", "coordinator worker-listener address (fedvald -worker-addr)")
+		capacity    = flag.Int("capacity", 0, "concurrent coalition evaluations (0 = GOMAXPROCS)")
+		name        = flag.String("name", "", "worker name in the fleet listing (default: hostname)")
+		retry       = flag.Duration("retry", 2*time.Second, "reconnect backoff after a lost coordinator")
+	)
+	flag.Parse()
+
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*name = host
+	}
+	cap := *capacity
+	if cap <= 0 {
+		cap = runtime.GOMAXPROCS(0)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := &evalnet.Worker{Name: *name, Capacity: cap, BuildEval: valserve.WorkerEval}
+	fmt.Fprintf(os.Stderr, "fedvalworker: %s (capacity %d) dialling %s\n", *name, cap, *coordinator)
+	for {
+		err := w.Dial(ctx, *coordinator)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "fedvalworker: shutting down")
+			return
+		}
+		fmt.Fprintf(os.Stderr, "fedvalworker: %v; retrying in %s\n", err, *retry)
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(os.Stderr, "fedvalworker: shutting down")
+			return
+		case <-time.After(*retry):
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package fedshap_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"fedshap"
+	"fedshap/internal/combin"
+	"fedshap/internal/experiments"
+	"fedshap/internal/valserve"
+)
+
+// ExampleServiceClient runs a complete submit → wait → report round trip
+// against an in-process fedvald daemon. The injected problem is the
+// additive game U(S) = Σ_{i∈S}(i+1), whose exact Shapley values are simply
+// 1, 2, 3, 4 — so the remote report is easy to verify by eye. Against a
+// real daemon only the base URL changes.
+func ExampleServiceClient() {
+	mgr, err := valserve.NewManager(valserve.Config{
+		Workers: 1,
+		BuildProblem: func(req fedshap.JobRequest) (*experiments.Problem, error) {
+			return experiments.NewFuncProblem("additive-game", req.N, func(s combin.Coalition) float64 {
+				var u float64
+				for _, i := range s.Members() {
+					u += float64(i + 1)
+				}
+				return u
+			}), nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer mgr.Close()
+	srv := httptest.NewServer(valserve.NewHandler(mgr))
+	defer srv.Close()
+
+	client := fedshap.NewServiceClient(srv.URL)
+	ctx := context.Background()
+	st, err := client.Submit(ctx, fedshap.JobRequest{N: 4, Algorithm: "perm"})
+	if err != nil {
+		panic(err)
+	}
+	fin, err := client.Wait(ctx, st.ID, 5*time.Millisecond, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("state:", fin.State)
+	fmt.Printf("values: %.0f\n", fin.Report.Values)
+	// Output:
+	// state: done
+	// values: [1 2 3 4]
+}

@@ -1,0 +1,533 @@
+package evalnet
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fedshap"
+	"fedshap/internal/combin"
+	"fedshap/internal/utility"
+)
+
+// Coordinator owns the worker fleet and schedules coalition evaluations
+// onto it. It is safe for concurrent use by many jobs; a single Coordinator
+// is shared by every job a valserve.Manager runs.
+type Coordinator struct {
+	mu      sync.Mutex
+	workers map[int]*remoteWorker
+	// pending is the FIFO of unassigned tasks; requeues from dead workers
+	// go to the front so interrupted work finishes first.
+	pending  []*task
+	nextWkr  int
+	nextTask uint64
+	closed   bool
+
+	lnMu sync.Mutex
+	ln   net.Listener
+}
+
+// remoteWorker is the coordinator's view of one connected worker.
+type remoteWorker struct {
+	id       int
+	name     string
+	addr     string
+	capacity int
+	conn     net.Conn
+
+	// inflight holds tasks assigned but unanswered; its size is bounded by
+	// capacity. specs records which problem specs this worker has received.
+	inflight map[uint64]*task
+	specs    map[string]bool
+
+	// outbox + outCond (on Coordinator.mu) feed the writer goroutine, so
+	// dispatching never blocks on a slow connection.
+	outbox  []envelope
+	outCond *sync.Cond
+	gone    bool
+	done    int64
+}
+
+// task is one coalition evaluation in flight through the scheduler.
+type task struct {
+	id      uint64
+	session *Session
+	coal    combin.Coalition
+
+	// worker is the id of the worker the task is assigned to (-1 when
+	// queued). Guarded by Coordinator.mu.
+	worker int
+
+	once sync.Once
+	ch   chan taskResult // buffered(1); delivered at most once
+}
+
+type taskResult struct {
+	u float64
+	// fallback asks the caller to evaluate locally (fleet gone, worker
+	// error, or coordinator shut down).
+	fallback bool
+}
+
+func (t *task) deliver(r taskResult) {
+	t.once.Do(func() { t.ch <- r })
+}
+
+// NewCoordinator builds an empty coordinator; attach workers with Serve or
+// Attach.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{workers: make(map[int]*remoteWorker)}
+}
+
+// Serve accepts worker connections on ln until the listener closes (Close
+// closes it). Each accepted connection is handshaken and attached.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	c.lnMu.Lock()
+	c.ln = ln
+	c.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := c.Attach(conn); err != nil {
+				conn.Close()
+			}
+		}()
+	}
+}
+
+// Attach performs the registration handshake on conn and, on success, adds
+// the worker to the fleet and services it until the connection breaks.
+func (c *Coordinator) Attach(conn net.Conn) error {
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	var hello envelope
+	if err := dec.Decode(&hello); err != nil {
+		return fmt.Errorf("evalnet: worker handshake: %w", err)
+	}
+	if hello.Hello == nil || hello.Hello.Proto != protoVersion {
+		return fmt.Errorf("evalnet: worker handshake: bad hello (proto %v)", hello.Hello)
+	}
+	capacity := hello.Hello.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	w := &remoteWorker{
+		name:     hello.Hello.Name,
+		addr:     conn.RemoteAddr().String(),
+		capacity: capacity,
+		conn:     conn,
+		inflight: make(map[uint64]*task),
+		specs:    make(map[string]bool),
+	}
+	if err := enc.Encode(envelope{Hello: &helloMsg{Proto: protoVersion, Name: "coordinator"}}); err != nil {
+		return fmt.Errorf("evalnet: worker handshake ack: %w", err)
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("evalnet: coordinator closed")
+	}
+	w.id = c.nextWkr
+	c.nextWkr++
+	w.outCond = sync.NewCond(&c.mu)
+	c.workers[w.id] = w
+	// A fresh worker may unblock queued work immediately.
+	c.dispatchLocked()
+	c.mu.Unlock()
+
+	go c.writeLoop(w, enc)
+	c.readLoop(w, dec)
+	return nil
+}
+
+// writeLoop drains the worker's outbox; encoding happens outside the lock
+// so a slow connection never stalls the scheduler.
+func (c *Coordinator) writeLoop(w *remoteWorker, enc *gob.Encoder) {
+	for {
+		c.mu.Lock()
+		for len(w.outbox) == 0 && !w.gone {
+			w.outCond.Wait()
+		}
+		if w.gone && len(w.outbox) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		msgs := w.outbox
+		w.outbox = nil
+		c.mu.Unlock()
+		for _, m := range msgs {
+			if err := enc.Encode(m); err != nil {
+				c.removeWorker(w)
+				return
+			}
+		}
+	}
+}
+
+// readLoop consumes results until the connection breaks, then retires the
+// worker and requeues whatever it still owed.
+func (c *Coordinator) readLoop(w *remoteWorker, dec *gob.Decoder) {
+	for {
+		var e envelope
+		if err := dec.Decode(&e); err != nil {
+			c.removeWorker(w)
+			return
+		}
+		if e.Result != nil {
+			c.completeTask(w, *e.Result)
+		}
+	}
+}
+
+// completeTask delivers one worker result and refills the freed slot.
+func (c *Coordinator) completeTask(w *remoteWorker, res resultMsg) {
+	c.mu.Lock()
+	t, ok := w.inflight[res.TaskID]
+	if ok {
+		delete(w.inflight, res.TaskID)
+		if res.Err == "" {
+			w.done++ // error replies produced no utility; don't count them
+		}
+		c.dispatchLocked()
+	}
+	c.mu.Unlock()
+	if !ok {
+		return // stale: task already retired with its session
+	}
+	if res.Err != "" {
+		t.deliver(taskResult{fallback: true})
+		return
+	}
+	t.deliver(taskResult{u: res.U})
+}
+
+// removeWorker retires a dead connection: its unanswered tasks go back to
+// the front of the queue (never lost, never double-delivered — the dead
+// link can produce no more results once inflight is cleared).
+func (c *Coordinator) removeWorker(w *remoteWorker) {
+	c.mu.Lock()
+	if w.gone {
+		c.mu.Unlock()
+		return
+	}
+	w.gone = true
+	delete(c.workers, w.id)
+	orphans := make([]*task, 0, len(w.inflight))
+	for _, t := range w.inflight {
+		orphans = append(orphans, t)
+	}
+	w.inflight = make(map[uint64]*task)
+	// Requeue in assignment order for determinism of the retry schedule.
+	sort.Slice(orphans, func(a, b int) bool { return orphans[a].id < orphans[b].id })
+	for _, t := range orphans {
+		t.worker = -1
+	}
+	c.pending = append(orphans, c.pending...)
+	c.dispatchLocked()
+	w.outCond.Broadcast() // release the writer
+	c.mu.Unlock()
+	w.conn.Close()
+}
+
+// dispatchLocked assigns queued tasks to free slots, batching consecutive
+// assignments to the same worker and spec into one taskMsg. With workers
+// connected but saturated it leaves the queue alone; with no workers at
+// all it hands every task back for local evaluation.
+func (c *Coordinator) dispatchLocked() {
+	type batchKey struct {
+		wid  int
+		spec string
+	}
+	batches := make(map[batchKey][]taskWire)
+	var touched []*remoteWorker
+	for len(c.pending) > 0 {
+		t := c.pending[0]
+		if t.session.closed {
+			c.pending = c.pending[1:]
+			t.deliver(taskResult{fallback: true})
+			continue
+		}
+		w := c.pickWorkerLocked()
+		if w == nil {
+			if len(c.workers) == 0 {
+				c.pending = c.pending[1:]
+				t.deliver(taskResult{fallback: true})
+				continue
+			}
+			break // fleet saturated; completions re-dispatch
+		}
+		c.pending = c.pending[1:]
+		sid := t.session.spec.ID
+		if !w.specs[sid] {
+			w.specs[sid] = true
+			w.outbox = append(w.outbox, envelope{Spec: &specMsg{Spec: t.session.spec}})
+		}
+		w.inflight[t.id] = t
+		t.worker = w.id
+		lo, hi := t.coal.Words()
+		key := batchKey{w.id, sid}
+		if len(batches[key]) == 0 {
+			touched = append(touched, w)
+		}
+		batches[key] = append(batches[key], taskWire{ID: t.id, Lo: lo, Hi: hi})
+	}
+	for key, tasks := range batches {
+		w := c.workers[key.wid]
+		if w == nil {
+			continue // raced with removeWorker; tasks were requeued there
+		}
+		w.outbox = append(w.outbox, envelope{Task: &taskMsg{SpecID: key.spec, Tasks: tasks}})
+	}
+	for _, w := range touched {
+		w.outCond.Signal()
+	}
+}
+
+// pickWorkerLocked returns the least-loaded worker with a free in-flight
+// slot (load compared as inflight/capacity fractions), or nil.
+func (c *Coordinator) pickWorkerLocked() *remoteWorker {
+	var best *remoteWorker
+	for _, w := range c.workers {
+		if len(w.inflight) >= w.capacity {
+			continue
+		}
+		if best == nil ||
+			len(w.inflight)*best.capacity < len(best.inflight)*w.capacity ||
+			(len(w.inflight)*best.capacity == len(best.inflight)*w.capacity && w.id < best.id) {
+			best = w
+		}
+	}
+	return best
+}
+
+// WorkerCount returns the number of connected workers.
+func (c *Coordinator) WorkerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// TotalCapacity returns the fleet's aggregate in-flight limit — the right
+// size for an evaluation pool that keeps every worker busy.
+func (c *Coordinator) TotalCapacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, w := range c.workers {
+		total += w.capacity
+	}
+	return total
+}
+
+// Workers snapshots the fleet for the daemon's /v1/workers endpoint.
+func (c *Coordinator) Workers() []fedshap.WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]fedshap.WorkerInfo, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, fedshap.WorkerInfo{
+			ID:        w.id,
+			Name:      w.name,
+			Addr:      w.addr,
+			Capacity:  w.capacity,
+			InFlight:  len(w.inflight),
+			Completed: w.done,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Close shuts the coordinator down: the listener stops accepting, every
+// worker connection is closed, and all queued work is handed back for
+// local evaluation so no Eval caller blocks forever.
+func (c *Coordinator) Close() error {
+	c.lnMu.Lock()
+	if c.ln != nil {
+		c.ln.Close()
+		c.ln = nil
+	}
+	c.lnMu.Unlock()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	workers := make([]*remoteWorker, 0, len(c.workers))
+	for _, w := range c.workers {
+		workers = append(workers, w)
+	}
+	c.mu.Unlock()
+	for _, w := range workers {
+		c.removeWorker(w) // requeues in-flight work, then local fallback
+	}
+	return nil
+}
+
+// Session is one job's handle on the fleet. Its Eval method is the remote
+// utility.EvalFunc plugged into the job's oracle; local is the in-process
+// evaluation used as the fallback.
+type Session struct {
+	c     *Coordinator
+	spec  ProblemSpec
+	ctx   context.Context
+	local utility.EvalFunc
+	// localSem bounds concurrent local fallback evaluations at the job's
+	// own local limit: the pool is sized for the fleet's capacity, so
+	// when the fleet vanishes mid-job the queued Evals must not all start
+	// training on this machine at once.
+	localSem chan struct{}
+
+	// closed is guarded by c.mu.
+	closed bool
+	stop   chan struct{}
+}
+
+// NewSession registers a job with the coordinator. ctx is the job's
+// context: when it is done, queued work is dropped, workers are told to
+// skip the spec, and blocked Eval calls abort. localLimit bounds the
+// session's concurrent local-fallback evaluations — the concurrency the
+// job would use with no fleet at all (<= 0 selects GOMAXPROCS) — so a
+// pool widened for a large fleet collapses back to sane local parallelism
+// when the fleet vanishes.
+func (c *Coordinator) NewSession(ctx context.Context, spec ProblemSpec, local utility.EvalFunc, localLimit int) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if localLimit <= 0 {
+		localLimit = runtime.GOMAXPROCS(0)
+	}
+	s := &Session{
+		c: c, spec: spec, ctx: ctx, local: local,
+		localSem: make(chan struct{}, localLimit),
+		stop:     make(chan struct{}),
+	}
+	// Push cancellation to the fleet as soon as it happens, not just when
+	// the job's deferred Close runs: workers then skip the spec's queued
+	// batches instead of training them into a void.
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.c.cancelSpec(spec.ID)
+		case <-s.stop:
+		}
+	}()
+	return s
+}
+
+// Eval evaluates one coalition on the fleet, blocking until a result
+// arrives. With no workers connected (or after coordinator shutdown) it
+// evaluates locally. If the session context is cancelled while waiting it
+// panics with *utility.CancelError — the oracle's cancellation contract,
+// recovered by Prefetch and shapley.Run.
+func (s *Session) Eval(coal combin.Coalition) float64 {
+	if err := s.ctx.Err(); err != nil {
+		panic(&utility.CancelError{Err: err})
+	}
+	t := s.c.enqueue(s, coal)
+	if t == nil {
+		return s.localEval(coal)
+	}
+	select {
+	case r := <-t.ch:
+		if r.fallback {
+			return s.localEval(coal)
+		}
+		return r.u
+	case <-s.ctx.Done():
+		s.c.abandon(t)
+		panic(&utility.CancelError{Err: s.ctx.Err()})
+	}
+}
+
+// localEval runs the in-process fallback, bounded by the local machine's
+// parallelism and aborting rather than training when the job is already
+// cancelled (a worker's "spec cancelled" error reply can race ctx.Done in
+// Eval's select).
+func (s *Session) localEval(coal combin.Coalition) float64 {
+	if err := s.ctx.Err(); err != nil {
+		panic(&utility.CancelError{Err: err})
+	}
+	s.localSem <- struct{}{}
+	defer func() { <-s.localSem }()
+	return s.local(coal)
+}
+
+// enqueue queues one evaluation, or returns nil when the caller should
+// evaluate locally (no fleet, closed session or coordinator).
+func (c *Coordinator) enqueue(s *Session, coal combin.Coalition) *task {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || s.closed || len(c.workers) == 0 {
+		return nil
+	}
+	c.nextTask++
+	t := &task{id: c.nextTask, session: s, coal: coal, worker: -1, ch: make(chan taskResult, 1)}
+	c.pending = append(c.pending, t)
+	c.dispatchLocked()
+	return t
+}
+
+// abandon forgets a task whose caller stopped waiting: dequeued if still
+// pending; if already assigned, the eventual worker result is discarded by
+// completeTask (the session is cancelled, so no new work follows it).
+func (c *Coordinator) abandon(t *task) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, p := range c.pending {
+		if p == t {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// cancelSpec tells every worker that received the spec to drop it.
+func (c *Coordinator) cancelSpec(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if w.specs[id] {
+			w.outbox = append(w.outbox, envelope{Cancel: &cancelMsg{SpecID: id}})
+			w.outCond.Signal()
+		}
+	}
+}
+
+// Close ends the session: its queued tasks fall back to local delivery,
+// workers drop the spec, and the registration is removed. Idempotent.
+func (s *Session) Close() {
+	s.c.mu.Lock()
+	if s.closed {
+		s.c.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.stop)
+	kept := s.c.pending[:0]
+	for _, t := range s.c.pending {
+		if t.session == s {
+			t.deliver(taskResult{fallback: true})
+			continue
+		}
+		kept = append(kept, t)
+	}
+	s.c.pending = kept
+	for _, w := range s.c.workers {
+		if w.specs[s.spec.ID] {
+			w.outbox = append(w.outbox, envelope{Cancel: &cancelMsg{SpecID: s.spec.ID}})
+			w.outCond.Signal()
+		}
+	}
+	s.c.mu.Unlock()
+}

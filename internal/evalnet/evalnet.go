@@ -1,0 +1,122 @@
+// Package evalnet distributes coalition utility evaluations across a fleet
+// of remote worker machines. One coalition utility costs a full federated
+// training run, so single-machine throughput is the binding constraint on
+// large federations and heavy job traffic; this package removes it by
+// turning the utility oracle's evaluation function into a remote call.
+//
+// The topology is one coordinator (embedded in the fedvald daemon) and N
+// workers (cmd/fedvalworker daemons) that dial in and register. The
+// protocol is gob over a net.Conn — the same stdlib substrate as
+// internal/flnet — and deliberately small:
+//
+//	worker → coordinator   hello{name, capacity}
+//	coordinator → worker   hello ack, then per job:
+//	                       spec{problem}     once per (worker, job)
+//	                       task{coalitions}  batches, ≤ capacity in flight
+//	                       cancel{spec}      job cancelled or finished
+//	worker → coordinator   result{coalition, utility} streamed as computed
+//
+// A ProblemSpec carries the job's normalized wire request
+// (fedshap.JobRequest), not datasets: every problem in this repo is
+// generated deterministically from its request fields and seed, so each
+// worker rebuilds the identical federation locally and training yields
+// bit-identical utilities to the in-process oracle.
+//
+// The coordinator hands each job a Session whose Eval method is plugged in
+// as the oracle's utility.EvalFunc (Oracle.WrapEval), so the existing
+// Prefetch pool, sharded cache, budget accounting and JSONL write-through
+// all apply unchanged — remote results land in the coordinator's cache and
+// store exactly as local ones do. Scheduling is least-loaded with
+// per-worker in-flight limits; a dead worker's in-flight coalitions are
+// requeued to the surviving fleet (or evaluated locally when no workers
+// remain), and results are delivered at most once, so a killed worker
+// never loses or double-counts an evaluation. Cancellation propagates:
+// when a job's context is done, queued tasks are dropped, blocked Eval
+// calls abort with *utility.CancelError, and workers are told to skip the
+// spec's queued work.
+//
+// Local in-process evaluation remains the default: a coordinator with no
+// attached workers is never consulted, and every Session carries the local
+// evaluation function as its fallback.
+package evalnet
+
+import (
+	"fedshap"
+	"fedshap/internal/combin"
+)
+
+// protoVersion guards against mismatched coordinator/worker builds.
+const protoVersion = 1
+
+// ProblemSpec identifies one job's valuation problem to a worker. Request
+// fully determines the problem (datasets, model, FL config are all derived
+// deterministically from it), which is what makes shipping a spec instead
+// of gigabytes of training data possible.
+type ProblemSpec struct {
+	// ID is the coordinator-unique spec identifier (the job ID).
+	ID string
+	// Fingerprint is the problem's persistent-cache key, for worker-side
+	// caching or logging.
+	Fingerprint string
+	// N is the federation size.
+	N int
+	// Request is the normalized job request the worker rebuilds the
+	// problem from.
+	Request fedshap.JobRequest
+}
+
+// helloMsg opens a connection in both directions: the worker announces
+// itself, the coordinator acknowledges.
+type helloMsg struct {
+	Proto    int
+	Name     string
+	Capacity int
+}
+
+// specMsg delivers a problem spec to a worker, once per (worker, spec).
+type specMsg struct {
+	Spec ProblemSpec
+}
+
+// taskWire is one coalition evaluation assignment.
+type taskWire struct {
+	ID     uint64
+	Lo, Hi uint64
+}
+
+// taskMsg assigns a batch of coalitions under one spec.
+type taskMsg struct {
+	SpecID string
+	Tasks  []taskWire
+}
+
+// resultMsg streams one computed utility back. A non-empty Err means the
+// worker could not produce the utility (spec build failure, cancellation);
+// the coordinator then falls back to local evaluation for that coalition.
+type resultMsg struct {
+	SpecID string
+	TaskID uint64
+	Lo, Hi uint64
+	U      float64
+	Err    string
+}
+
+// cancelMsg tells a worker to drop a spec: skip its queued tasks and free
+// its cached problem.
+type cancelMsg struct {
+	SpecID string
+}
+
+// envelope is the single wire frame; exactly one field is non-nil.
+type envelope struct {
+	Hello  *helloMsg
+	Spec   *specMsg
+	Task   *taskMsg
+	Result *resultMsg
+	Cancel *cancelMsg
+}
+
+// coalition reconstructs the combin value from its wire words.
+func (t taskWire) coalition() combin.Coalition {
+	return combin.FromWords(t.Lo, t.Hi)
+}

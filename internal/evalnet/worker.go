@@ -1,0 +1,162 @@
+package evalnet
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fedshap/internal/utility"
+)
+
+// Worker is the remote-evaluation daemon: it dials a coordinator, receives
+// problem specs and coalition batches, trains locally and streams results
+// back. cmd/fedvalworker wraps it; tests drive it in-process.
+type Worker struct {
+	// Name identifies the worker in the coordinator's fleet listing.
+	Name string
+	// Capacity bounds concurrent evaluations (<= 0 selects GOMAXPROCS);
+	// it is announced to the coordinator, which never exceeds it.
+	Capacity int
+	// BuildEval constructs the evaluation function for a spec, called once
+	// per spec and cached. The standard builder (valserve.WorkerEval)
+	// rebuilds the problem from the spec's request and evaluates through a
+	// fresh oracle, so repeated coalitions within a job are served from
+	// the worker's own cache.
+	BuildEval func(spec ProblemSpec) (utility.EvalFunc, error)
+}
+
+// workerSpec is one cached problem on the worker.
+type workerSpec struct {
+	spec      ProblemSpec
+	once      sync.Once
+	eval      utility.EvalFunc
+	err       error
+	cancelled atomic.Bool
+}
+
+// Serve speaks the protocol on conn until the connection breaks or ctx is
+// done (which closes the connection). Every received task is answered —
+// with a utility, or with an error the coordinator converts into a local
+// fallback — so the coordinator's in-flight accounting always drains.
+func (w *Worker) Serve(ctx context.Context, conn net.Conn) error {
+	capacity := w.Capacity
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(envelope{Hello: &helloMsg{Proto: protoVersion, Name: w.Name, Capacity: capacity}}); err != nil {
+		return fmt.Errorf("evalnet: hello: %w", err)
+	}
+	var ack envelope
+	if err := dec.Decode(&ack); err != nil {
+		return fmt.Errorf("evalnet: hello ack: %w", err)
+	}
+	if ack.Hello == nil || ack.Hello.Proto != protoVersion {
+		return fmt.Errorf("evalnet: coordinator rejected handshake")
+	}
+
+	// ctx cancellation unblocks the decoder by closing the connection.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	var sendMu sync.Mutex
+	send := func(e envelope) {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		_ = enc.Encode(e) // a broken link also breaks the read loop below
+	}
+
+	specs := make(map[string]*workerSpec)
+	sem := make(chan struct{}, capacity)
+	var wg sync.WaitGroup
+	for {
+		var e envelope
+		if err := dec.Decode(&e); err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("evalnet: connection lost: %w", err)
+		}
+		switch {
+		case e.Spec != nil:
+			if _, ok := specs[e.Spec.Spec.ID]; !ok {
+				specs[e.Spec.Spec.ID] = &workerSpec{spec: e.Spec.Spec}
+			}
+		case e.Cancel != nil:
+			// Mark, then drop: in-flight goroutines still hold the pointer
+			// and skip via the flag, while the map releases the rebuilt
+			// problem (datasets + oracle cache) so a long-lived worker
+			// doesn't accumulate one federation per served job. A stale
+			// task arriving after the drop is answered "unknown spec",
+			// which the coordinator turns into a local fallback.
+			if ws, ok := specs[e.Cancel.SpecID]; ok {
+				ws.cancelled.Store(true)
+				delete(specs, e.Cancel.SpecID)
+			}
+		case e.Task != nil:
+			ws := specs[e.Task.SpecID]
+			for _, tw := range e.Task.Tasks {
+				wg.Add(1)
+				go func(tw taskWire) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					send(envelope{Result: w.run(ws, e.Task.SpecID, tw)})
+				}(tw)
+			}
+		}
+	}
+}
+
+// run computes one assignment, converting every failure mode (unknown or
+// cancelled spec, build error, evaluation panic) into an error reply.
+func (w *Worker) run(ws *workerSpec, specID string, tw taskWire) (res *resultMsg) {
+	res = &resultMsg{SpecID: specID, TaskID: tw.ID, Lo: tw.Lo, Hi: tw.Hi}
+	defer func() {
+		if r := recover(); r != nil {
+			res.U = 0
+			res.Err = fmt.Sprintf("evaluation panic: %v", r)
+		}
+	}()
+	if ws == nil {
+		res.Err = "unknown spec"
+		return res
+	}
+	if ws.cancelled.Load() {
+		res.Err = "spec cancelled"
+		return res
+	}
+	ws.once.Do(func() {
+		build := w.BuildEval
+		if build == nil {
+			ws.err = fmt.Errorf("evalnet: worker has no problem builder")
+			return
+		}
+		ws.eval, ws.err = build(ws.spec)
+	})
+	if ws.err != nil {
+		res.Err = ws.err.Error()
+		return res
+	}
+	res.U = ws.eval(tw.coalition())
+	return res
+}
+
+// Dial connects to a coordinator at addr and serves until the link breaks
+// or ctx is done, returning the terminal error. Reconnection policy is the
+// caller's (cmd/fedvalworker loops with backoff).
+func (w *Worker) Dial(ctx context.Context, addr string) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return w.Serve(ctx, conn)
+}

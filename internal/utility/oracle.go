@@ -78,6 +78,16 @@ func NewOracle(n int, eval EvalFunc) *Oracle {
 // N returns the federation size.
 func (o *Oracle) N() int { return o.n }
 
+// WrapEval replaces the oracle's evaluation function with wrap(current),
+// handing the wrapped function the previous one as its fallback. This is
+// the seam the distributed evaluator (internal/evalnet) plugs into: the
+// remote EvalFunc dispatches coalitions to the worker fleet and falls back
+// to the original in-process function when no workers remain. It must be
+// called before evaluations begin, never concurrently with U.
+func (o *Oracle) WrapEval(wrap func(EvalFunc) EvalFunc) {
+	o.eval = wrap(o.eval)
+}
+
 // SetContext implements ContextBinder.
 func (o *Oracle) SetContext(ctx context.Context) {
 	if ctx == nil {

@@ -149,6 +149,128 @@ func (st *Store) Attach(o *Oracle, fingerprint string) (int, error) {
 	return warmed, nil
 }
 
+// Compact rewrites one fingerprint's JSONL file with a single line per
+// coalition (the last record wins) and drops malformed lines, so
+// long-lived caches stop growing unboundedly: duplicates accrue whenever
+// several processes share a cache directory or a crash tears a write. The
+// rewrite goes through a temp file and an atomic rename, so a concurrent
+// crash leaves either the old or the new file, never a mix. It returns
+// the records kept and the lines dropped; a missing file is (0, 0, nil).
+//
+// Compact assumes no *other process* is appending to the fingerprint
+// while it runs: records another process writes between the read and the
+// rename are lost, and that process's open append handle is left pointing
+// at the unlinked file. Compact at startup or shutdown (Manager.Close
+// does the latter, after its jobs have drained), not while a shared cache
+// directory is live.
+func (st *Store) Compact(fingerprint string) (kept, dropped int, err error) {
+	if err := checkFingerprint(fingerprint); err != nil {
+		return 0, 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	path := st.path(fingerprint)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("utility: compact: %w", err)
+	}
+	entries := make(map[combin.Coalition]float64)
+	var order []combin.Coalition
+	lines := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lines++
+		var rec storeRecord
+		if json.Unmarshal(sc.Bytes(), &rec) != nil {
+			continue
+		}
+		s := combin.FromWords(rec.Lo, rec.Hi)
+		if _, seen := entries[s]; !seen {
+			order = append(order, s)
+		}
+		entries[s] = rec.U
+	}
+	scanErr := sc.Err()
+	f.Close()
+	if scanErr != nil {
+		return 0, 0, fmt.Errorf("utility: compact: %w", scanErr)
+	}
+	kept = len(entries)
+	dropped = lines - kept
+	if dropped == 0 {
+		return kept, 0, nil
+	}
+
+	tmp, err := os.CreateTemp(st.dir, fingerprint+".compact-*")
+	if err != nil {
+		return kept, dropped, fmt.Errorf("utility: compact: %w", err)
+	}
+	// CreateTemp makes the file 0600; keep the permissions Append created
+	// the original with, or cross-process readers lose the cache.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return kept, dropped, fmt.Errorf("utility: compact: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, s := range order {
+		lo, hi := s.Words()
+		line, err := json.Marshal(storeRecord{Lo: lo, Hi: hi, U: entries[s]})
+		if err == nil {
+			w.Write(line)
+			w.WriteByte('\n')
+		}
+	}
+	if err := w.Flush(); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return kept, dropped, fmt.Errorf("utility: compact: %w", err)
+	}
+	// Retire the open append handle before swapping the file underneath
+	// it; the next Append reopens against the compacted file.
+	if open, ok := st.files[fingerprint]; ok {
+		open.Close()
+		delete(st.files, fingerprint)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return kept, dropped, fmt.Errorf("utility: compact: %w", err)
+	}
+	return kept, dropped, nil
+}
+
+// CompactAll compacts every fingerprint file in the store's directory,
+// summing the kept/dropped counts. The first error is returned after the
+// remaining files are still attempted.
+func (st *Store) CompactAll() (kept, dropped int, err error) {
+	paths, globErr := filepath.Glob(filepath.Join(st.dir, "*.jsonl"))
+	if globErr != nil {
+		return 0, 0, fmt.Errorf("utility: compact all: %w", globErr)
+	}
+	for _, p := range paths {
+		fp := strings.TrimSuffix(filepath.Base(p), ".jsonl")
+		if checkFingerprint(fp) != nil {
+			continue // foreign file in the cache dir, not ours to rewrite
+		}
+		k, d, cerr := st.Compact(fp)
+		kept += k
+		dropped += d
+		if err == nil && cerr != nil {
+			err = cerr
+		}
+	}
+	return kept, dropped, err
+}
+
 // Close flushes and closes every open fingerprint file, returning the
 // first write error encountered during the store's lifetime.
 func (st *Store) Close() error {

@@ -1,0 +1,147 @@
+package utility
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedshap/internal/combin"
+)
+
+func countLines(t *testing.T, path string) int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		n++
+	}
+	return n
+}
+
+// TestStoreCompact writes duplicate and malformed records, compacts, and
+// checks the rewrite keeps exactly one (latest) record per coalition while
+// the loaded cache is unchanged.
+func TestStoreCompact(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const fp = "deadbeef"
+	a, b := combin.NewCoalition(0), combin.NewCoalition(0, 1)
+	// A superseded record for a, a duplicate for b, and a torn tail.
+	for _, rec := range []struct {
+		s combin.Coalition
+		u float64
+	}{{a, 0.1}, {b, 0.5}, {a, 0.7}, {b, 0.5}} {
+		if err := st.Append(fp, rec.s, rec.u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, fp+".jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"lo":3,"u":0.9`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	kept, dropped, err := st.Compact(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 2 || dropped != 3 {
+		t.Errorf("Compact = (%d kept, %d dropped), want (2, 3)", kept, dropped)
+	}
+	if got := countLines(t, path); got != 2 {
+		t.Errorf("compacted file has %d lines, want 2", got)
+	}
+	entries, err := st.Load(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[a] != 0.7 || entries[b] != 0.5 {
+		t.Errorf("entries after compact = %v", entries)
+	}
+
+	// Idempotent: a clean file is left alone.
+	if kept, dropped, err = st.Compact(fp); err != nil || kept != 2 || dropped != 0 {
+		t.Errorf("second Compact = (%d, %d, %v), want (2, 0, nil)", kept, dropped, err)
+	}
+	// A missing fingerprint is an empty no-op, and traversal stays guarded.
+	if kept, dropped, err = st.Compact("0000"); err != nil || kept != 0 || dropped != 0 {
+		t.Errorf("Compact(missing) = (%d, %d, %v)", kept, dropped, err)
+	}
+	if _, _, err := st.Compact("../evil"); err == nil {
+		t.Error("Compact accepted a traversal fingerprint")
+	}
+}
+
+// TestStoreCompactWithOpenAppendHandle compacts while the store holds an
+// open append handle, then appends again: the new record must land in the
+// compacted file, not a stale unlinked one.
+func TestStoreCompactWithOpenAppendHandle(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const fp = "cafe0123"
+	a := combin.NewCoalition(2)
+	if err := st.Append(fp, a, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(fp, a, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Compact(fp); err != nil {
+		t.Fatal(err)
+	}
+	b := combin.NewCoalition(3)
+	if err := st.Append(fp, b, 3.0); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.Load(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[a] != 2.0 || entries[b] != 3.0 {
+		t.Errorf("entries = %v, want {a:2, b:3}", entries)
+	}
+}
+
+// TestStoreCompactAll compacts every fingerprint in the directory at once.
+func TestStoreCompactAll(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := combin.NewCoalition(1)
+	for _, fp := range []string{"aaaa", "bbbb"} {
+		for i := 0; i < 3; i++ {
+			if err := st.Append(fp, s, float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	kept, dropped, err := st.CompactAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 2 || dropped != 4 {
+		t.Errorf("CompactAll = (%d kept, %d dropped), want (2, 4)", kept, dropped)
+	}
+}

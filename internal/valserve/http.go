@@ -16,6 +16,7 @@ import (
 //	GET    /v1/jobs/{id}        poll one job's status and progress
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/report fetch a finished job's valuation report
+//	GET    /v1/workers          list attached remote evaluation workers
 //	GET    /healthz             liveness probe
 //
 // Errors are returned as {"error": "..."} with a matching status code.
@@ -46,6 +47,9 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Workers())
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := m.Get(r.PathValue("id"))

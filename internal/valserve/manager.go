@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"fedshap"
+	"fedshap/internal/evalnet"
 	"fedshap/internal/experiments"
 	"fedshap/internal/shapley"
 	"fedshap/internal/utility"
@@ -23,7 +24,9 @@ type Config struct {
 	// Each job additionally parallelises its own coalition evaluations.
 	Workers int
 	// EvalWorkers bounds one job's concurrent coalition evaluations when
-	// the request doesn't say (0 = GOMAXPROCS).
+	// the request doesn't say (0 = GOMAXPROCS). An explicit value is a
+	// hard cap: the evaluation pool is then never widened to an attached
+	// worker fleet's capacity.
 	EvalWorkers int
 	// QueueCap bounds pending jobs; Submit fails when full (default 64).
 	QueueCap int
@@ -34,6 +37,10 @@ type Config struct {
 	// games; nil uses the experiments constructors (and strict dataset
 	// validation).
 	BuildProblem func(req fedshap.JobRequest) (*experiments.Problem, error)
+	// Coordinator, when set, fans each job's coalition evaluations out
+	// across its remote worker fleet (cmd/fedvalworker daemons). Jobs fall
+	// back to in-process evaluation while no workers are attached.
+	Coordinator *evalnet.Coordinator
 }
 
 // Job is one tracked valuation job. All mutation goes through its methods;
@@ -102,6 +109,12 @@ func (j *Job) setWarmed(n int) {
 func (j *Job) setProblem(name string) {
 	j.mu.Lock()
 	j.status.Problem = name
+	j.mu.Unlock()
+}
+
+func (j *Job) setRemoteWorkers(n int) {
+	j.mu.Lock()
+	j.status.RemoteWorkers = n
 	j.mu.Unlock()
 }
 
@@ -178,6 +191,15 @@ func NewManager(cfg Config) (*Manager, error) {
 // Store exposes the persistent utility store (nil when persistence is
 // disabled), for inspection and tests.
 func (m *Manager) Store() *utility.Store { return m.store }
+
+// Workers lists the attached remote evaluation workers; empty when no
+// coordinator is configured or no worker has dialled in.
+func (m *Manager) Workers() []fedshap.WorkerInfo {
+	if m.cfg.Coordinator == nil {
+		return []fedshap.WorkerInfo{}
+	}
+	return m.cfg.Coordinator.Workers()
+}
 
 // newID mints a unique job identifier: a submission ordinal plus random
 // suffix.
@@ -279,7 +301,9 @@ func (m *Manager) Cancel(id string) (*fedshap.JobStatus, error) {
 	return j.snapshot(), nil
 }
 
-// Close cancels every live job, drains the workers and closes the store.
+// Close cancels every live job, drains the workers, compacts the
+// persistent store (dropping superseded JSONL lines accumulated over the
+// daemon's lifetime) and closes it.
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -298,7 +322,8 @@ func (m *Manager) Close() error {
 	}
 	m.wg.Wait()
 	if m.store != nil {
-		return m.store.Close()
+		_, _, cerr := m.store.CompactAll()
+		return errors.Join(cerr, m.store.Close())
 	}
 	return nil
 }
@@ -359,6 +384,37 @@ func (m *Manager) runJob(j *Job) {
 	}
 	if evalWorkers <= 0 {
 		evalWorkers = runtime.GOMAXPROCS(0)
+	}
+
+	// With a coordinator configured, swap the oracle's evaluation function
+	// for a distributed session: coalitions dispatch to remote workers and
+	// results flow back through the same cache, budget accounting and
+	// write-through. The session is registered even when the fleet is
+	// momentarily empty — evaluations then run through the local fallback,
+	// and workers that dial in mid-job are picked up. The pool is widened
+	// to the fleet's aggregate capacity (Eval blocks while a worker
+	// trains, so pool slots, not CPUs, keep the fleet busy) unless the
+	// request or the daemon set an explicit worker limit, which stays an
+	// upper bound on the job's concurrency wherever it runs.
+	if c := m.cfg.Coordinator; c != nil {
+		snap := j.snapshot()
+		spec := evalnet.ProblemSpec{
+			ID:          snap.ID,
+			Fingerprint: snap.Fingerprint,
+			N:           p.N,
+			Request:     req,
+		}
+		localLimit := evalWorkers
+		var sess *evalnet.Session
+		oracle.WrapEval(func(local utility.EvalFunc) utility.EvalFunc {
+			sess = c.NewSession(j.ctx, spec, local, localLimit)
+			return sess.Eval
+		})
+		defer sess.Close()
+		j.setRemoteWorkers(c.WorkerCount())
+		if cap := c.TotalCapacity(); req.Workers <= 0 && m.cfg.EvalWorkers <= 0 && cap > evalWorkers {
+			evalWorkers = cap
+		}
 	}
 	if pf, ok := alg.(shapley.Prefetchable); ok && evalWorkers > 1 {
 		_ = oracle.Prefetch(j.ctx, pf.PrefetchPlan(p.N), evalWorkers)

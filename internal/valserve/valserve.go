@@ -8,8 +8,14 @@
 // Utilities are the expensive asset — each is a full federated training
 // run — so the service's whole design centres on never evaluating a
 // coalition twice: the in-memory cache is sharded for the evaluation pool,
-// the disk store survives the process, and budget accounting (fresh
-// evaluations) distinguishes new work from reuse.
+// the disk store survives the process (and is compacted on shutdown), and
+// budget accounting (fresh evaluations) distinguishes new work from reuse.
+//
+// With an internal/evalnet coordinator configured, the service also scales
+// one job's evaluations *out*: coalition training fans across a fleet of
+// remote worker daemons (cmd/fedvalworker) through the oracle's evaluation
+// seam, falling back to in-process evaluation while no workers are
+// attached. See ARCHITECTURE.md at the repo root for the full layer map.
 package valserve
 
 import (
@@ -19,8 +25,10 @@ import (
 	"strings"
 
 	"fedshap"
+	"fedshap/internal/evalnet"
 	"fedshap/internal/experiments"
 	"fedshap/internal/shapley"
+	"fedshap/internal/utility"
 )
 
 // Normalize fills a request's defaulted fields in place (dataset family,
@@ -206,6 +214,23 @@ func ValidateRequest(req fedshap.JobRequest, lenientData bool) error {
 		return fmt.Errorf("unknown dataset %q (the service accepts femnist | adult | synthetic)", req.Data)
 	}
 	return nil
+}
+
+// WorkerEval is the standard problem builder for a remote evaluation
+// worker (cmd/fedvalworker): it rebuilds the spec's valuation problem from
+// the normalized request — dataset generation and training are
+// deterministic per seed, so the worker's utilities are bit-identical to
+// the coordinator's — and evaluates through a fresh per-spec oracle, so
+// coalitions the coordinator retries after a fleet change are served from
+// the worker's own cache instead of retrained.
+func WorkerEval(spec evalnet.ProblemSpec) (utility.EvalFunc, error) {
+	req := spec.Request
+	Normalize(&req)
+	p, err := BuildProblem(req)
+	if err != nil {
+		return nil, err
+	}
+	return p.Oracle().U, nil
 }
 
 // BuildProblem constructs the valuation problem for a normalized request

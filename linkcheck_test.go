@@ -1,0 +1,40 @@
+package fedshap_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinks verifies every relative link in the repo's top-level
+// documentation resolves to an existing file, so README/ARCHITECTURE/
+// ROADMAP cross-references can't silently rot. External URLs and anchors
+// are skipped. CI runs this alongside the Go suite.
+func TestMarkdownLinks(t *testing.T) {
+	docs := []string{"README.md", "ARCHITECTURE.md", "ROADMAP.md"}
+	linkRE := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(target); err != nil {
+				t.Errorf("%s: broken link %q: %v", doc, m[1], err)
+			}
+		}
+	}
+}

@@ -83,6 +83,9 @@ type JobStatus struct {
 	// WarmedCoalitions counts utilities preloaded from the persistent
 	// cache; a fully warm job finishes with FreshEvals == 0.
 	WarmedCoalitions int `json:"warmed_coalitions"`
+	// RemoteWorkers is the size of the evaluation worker fleet the job
+	// started with; 0 means the job evaluates in-process.
+	RemoteWorkers int `json:"remote_workers,omitempty"`
 	// Error describes a failure (state failed or cancelled).
 	Error string `json:"error,omitempty"`
 	// SubmittedAt/StartedAt/FinishedAt bound the job's lifecycle.
@@ -91,6 +94,24 @@ type JobStatus struct {
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	// Report is the valuation outcome (state done only).
 	Report *Report `json:"report,omitempty"`
+}
+
+// WorkerInfo describes one remote evaluation worker attached to the
+// daemon's coordinator (see internal/evalnet): jobs fan their coalition
+// evaluations out across these machines.
+type WorkerInfo struct {
+	// ID is the coordinator-assigned worker identifier.
+	ID int `json:"id"`
+	// Name is the worker's self-reported name (fedvalworker -name).
+	Name string `json:"name"`
+	// Addr is the remote address the worker connected from.
+	Addr string `json:"addr,omitempty"`
+	// Capacity is the worker's concurrent-evaluation limit.
+	Capacity int `json:"capacity"`
+	// InFlight is the number of evaluations currently assigned.
+	InFlight int `json:"in_flight"`
+	// Completed counts evaluations this worker has answered.
+	Completed int64 `json:"completed"`
 }
 
 // ServiceError is a non-2xx daemon response.
@@ -202,6 +223,17 @@ func (c *ServiceClient) Cancel(ctx context.Context, id string) (*JobStatus, erro
 		return nil, err
 	}
 	return &st, nil
+}
+
+// Workers lists the remote evaluation workers attached to the daemon.
+// With no worker fleet configured the list is empty and jobs evaluate
+// in-process.
+func (c *ServiceClient) Workers(ctx context.Context) ([]WorkerInfo, error) {
+	var out []WorkerInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/workers", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Report fetches the final report of a completed job.
