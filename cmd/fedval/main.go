@@ -65,7 +65,7 @@ func main() {
 		compare   = flag.Bool("compare", false, "also compute exact values and report the l2 error (2^n trainings)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
 		server    = flag.String("server", "", "fedvald base URL; when set, run the job remotely instead of locally")
-		poll      = flag.Duration("poll", 300*time.Millisecond, "progress poll interval in -server mode")
+		poll      = flag.Duration("poll", 300*time.Millisecond, "polling-fallback interval in -server mode (progress normally streams over server-sent events)")
 		workers   = flag.Int("workers", 0, "concurrent coalition evaluations in -server mode (0 = daemon default)")
 	)
 	flag.Parse()
@@ -171,7 +171,10 @@ func main() {
 
 // runRemote submits the job to a fedvald daemon, streams progress to
 // stderr, and prints the final report in the same formats as a local run.
-// Ctrl-C cancels the remote job before exiting.
+// Progress arrives over the daemon's server-sent event stream; if the
+// stream is unavailable (older daemon, proxy in the way) the client falls
+// back to polling at the -poll interval. Ctrl-C cancels the remote job
+// before exiting.
 func runRemote(server string, req fedshap.JobRequest, jsonOut bool, poll time.Duration) {
 	client := fedshap.NewServiceClient(server)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -184,14 +187,22 @@ func runRemote(server string, req fedshap.JobRequest, jsonOut bool, poll time.Du
 	jobID := st.ID
 	fmt.Fprintf(os.Stderr, "fedval: submitted %s (fingerprint %s, budget %d)\n", st.ID, st.Fingerprint, st.Budget)
 
+	// Print a line whenever the job makes progress. Event snapshots can
+	// arrive out of order under concurrent evaluation, so only advances
+	// are shown.
 	lastFresh := -1
-	st, err = client.Wait(ctx, jobID, poll, func(s *fedshap.JobStatus) {
-		if s.FreshEvals != lastFresh || s.State == fedshap.JobRunning && lastFresh < 0 {
+	show := func(s *fedshap.JobStatus) {
+		if s.FreshEvals > lastFresh {
 			lastFresh = s.FreshEvals
 			fmt.Fprintf(os.Stderr, "fedval: %-8s fresh evaluations %d/%d (warm-cached %d)\n",
 				s.State, s.FreshEvals, s.Budget, s.WarmedCoalitions)
 		}
-	})
+	}
+	st, err = client.WatchJob(ctx, jobID, func(event string, s *fedshap.JobStatus) { show(s) })
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "fedval: event stream unavailable (%v); falling back to polling\n", err)
+		st, err = client.Wait(ctx, jobID, poll, show)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			// Interrupted: cancel the remote job before giving up. The

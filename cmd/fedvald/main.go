@@ -7,6 +7,13 @@
 //
 //	fedvald -addr 127.0.0.1:8787 -cache-dir fedval-cache -workers 2
 //
+// With -journal set (the default), the daemon keeps a durable job log
+// beside the utility cache: on restart, completed jobs reload their
+// reports and interrupted jobs are requeued, starting warm from the
+// cache so already-trained coalitions cost nothing. -job-ttl expires
+// finished jobs after a retention window. See OPERATIONS.md at the repo
+// root for the full runbook.
+//
 // With -worker-addr set, the daemon also accepts a fleet of remote
 // evaluation workers (cmd/fedvalworker) and fans each job's coalition
 // evaluations out across them; jobs evaluate in-process while no workers
@@ -47,6 +54,8 @@ func main() {
 		evalWorkers = flag.Int("eval-workers", 0, "concurrent coalition evaluations per job (0 = GOMAXPROCS)")
 		queueCap    = flag.Int("queue", 64, "pending-job queue capacity")
 		cacheDir    = flag.String("cache-dir", "fedval-cache", "persistent utility cache directory (empty disables persistence)")
+		journal     = flag.String("journal", "fedval-jobs.jsonl", "durable job journal file: restart recovery replays it (empty disables durability)")
+		jobTTL      = flag.Duration("job-ttl", 0, "expire finished jobs this long after completion, e.g. 24h (0 keeps them forever)")
 		workerAddr  = flag.String("worker-addr", "", "listen address for remote evaluation workers (fedvalworker); empty disables the fleet")
 	)
 	flag.Parse()
@@ -67,6 +76,8 @@ func main() {
 		EvalWorkers: *evalWorkers,
 		QueueCap:    *queueCap,
 		CacheDir:    *cacheDir,
+		JournalPath: *journal,
+		JobTTL:      *jobTTL,
 		Coordinator: coord,
 	})
 	if err != nil {
@@ -78,7 +89,8 @@ func main() {
 		fatal(err)
 	}
 	srv := &http.Server{Handler: valserve.NewHandler(mgr)}
-	fmt.Fprintf(os.Stderr, "fedvald: listening on http://%s (cache: %s)\n", ln.Addr(), cacheDesc(*cacheDir))
+	fmt.Fprintf(os.Stderr, "fedvald: listening on http://%s (cache: %s, journal: %s)\n",
+		ln.Addr(), cacheDesc(*cacheDir), cacheDesc(*journal))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

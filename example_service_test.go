@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"sync"
 	"time"
 
 	"fedshap"
@@ -51,5 +52,67 @@ func ExampleServiceClient() {
 	fmt.Printf("values: %.0f\n", fin.Report.Values)
 	// Output:
 	// state: done
+	// values: [1 2 3 4]
+}
+
+// ExampleServiceClient_WatchJob consumes a job's server-sent event stream
+// instead of polling: the daemon pushes an event for every state
+// transition and fresh coalition evaluation, each carrying a full status
+// snapshot, until the terminal event ends the stream. Cancelling the
+// context mid-stream stops watching (WatchJob returns ctx.Err) without
+// affecting the job itself; here it runs as a deferred cleanup.
+func ExampleServiceClient_WatchJob() {
+	// The gate holds the job until the watcher is attached, so the
+	// example's event sequence is deterministic; real jobs take minutes
+	// and need no such care.
+	gate := make(chan struct{})
+	var once sync.Once
+
+	mgr, err := valserve.NewManager(valserve.Config{
+		Workers: 1,
+		BuildProblem: func(req fedshap.JobRequest) (*experiments.Problem, error) {
+			<-gate
+			return experiments.NewFuncProblem("additive-game", req.N, func(s combin.Coalition) float64 {
+				var u float64
+				for _, i := range s.Members() {
+					u += float64(i + 1)
+				}
+				return u
+			}), nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer mgr.Close()
+	srv := httptest.NewServer(valserve.NewHandler(mgr))
+	defer srv.Close()
+
+	client := fedshap.NewServiceClient(srv.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel() // ends the stream early if we bail out before the job does
+
+	st, err := client.Submit(ctx, fedshap.JobRequest{N: 4, Algorithm: "perm"})
+	if err != nil {
+		panic(err)
+	}
+	progressed := false
+	fin, err := client.WatchJob(ctx, st.ID, func(event string, s *fedshap.JobStatus) {
+		// event ∈ submitted | running | progress | done | failed | cancelled;
+		// s.FreshEvals / s.Budget is the live progress a UI would render.
+		once.Do(func() { close(gate) }) // watcher attached: release the job
+		if event == "progress" {
+			progressed = true
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("streamed progress:", progressed)
+	fmt.Println("final:", fin.State)
+	fmt.Printf("values: %.0f\n", fin.Report.Values)
+	// Output:
+	// streamed progress: true
+	// final: done
 	// values: [1 2 3 4]
 }

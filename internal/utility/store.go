@@ -1,7 +1,6 @@
 package utility
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -21,13 +20,15 @@ import (
 // The append-only format makes concurrent write-through crash-safe: a torn
 // final line is skipped on load, and duplicate records (two processes
 // evaluating the same coalition) are harmless because utilities are
-// deterministic per fingerprint.
+// deterministic per fingerprint. The JSONL mechanics (lenient scan,
+// atomic rewrite, reopen-after-compaction append handles) are shared with
+// the valuation service's job journal — see jsonl.go.
 type Store struct {
 	dir string
 
 	mu    sync.Mutex
-	files map[string]*os.File // open append handles per fingerprint
-	err   error               // first write error, reported by Close
+	files map[string]*AppendFile // append handles per fingerprint
+	err   error                  // first write error, reported by Close
 }
 
 // storeRecord is the JSONL schema for one persisted utility.
@@ -42,7 +43,7 @@ func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("utility: open store: %w", err)
 	}
-	return &Store{dir: dir, files: make(map[string]*os.File)}, nil
+	return &Store{dir: dir, files: make(map[string]*AppendFile)}, nil
 }
 
 // Dir returns the store's root directory.
@@ -67,25 +68,15 @@ func (st *Store) Load(fingerprint string) (map[combin.Coalition]float64, error) 
 	if err := checkFingerprint(fingerprint); err != nil {
 		return nil, err
 	}
-	f, err := os.Open(st.path(fingerprint))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return map[combin.Coalition]float64{}, nil
-		}
-		return nil, fmt.Errorf("utility: load store: %w", err)
-	}
-	defer f.Close()
 	out := make(map[combin.Coalition]float64)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
+	err := ScanJSONL(st.path(fingerprint), func(line []byte) {
 		var rec storeRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			continue
+		if json.Unmarshal(line, &rec) != nil {
+			return
 		}
 		out[combin.FromWords(rec.Lo, rec.Hi)] = rec.U
-	}
-	if err := sc.Err(); err != nil {
+	})
+	if err != nil {
 		return nil, fmt.Errorf("utility: load store: %w", err)
 	}
 	return out, nil
@@ -93,31 +84,23 @@ func (st *Store) Load(fingerprint string) (map[combin.Coalition]float64, error) 
 
 // Append durably records one utility under a fingerprint. The append
 // handle stays open for the store's lifetime, so per-evaluation overhead
-// is one encode + write syscall.
+// is one encode + write syscall. The write happens under the store
+// mutex, serialised against Compact's handle-retire-then-rename — an
+// append can never slip in between and land in the unlinked
+// pre-compaction file.
 func (st *Store) Append(fingerprint string, s combin.Coalition, u float64) error {
 	if err := checkFingerprint(fingerprint); err != nil {
 		return err
 	}
-	line, err := json.Marshal(func() storeRecord {
-		lo, hi := s.Words()
-		return storeRecord{Lo: lo, Hi: hi, U: u}
-	}())
-	if err != nil {
-		return err
-	}
-	line = append(line, '\n')
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	f, ok := st.files[fingerprint]
 	if !ok {
-		f, err = os.OpenFile(st.path(fingerprint), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			st.recordErr(err)
-			return err
-		}
+		f = NewAppendFile(st.path(fingerprint))
 		st.files[fingerprint] = f
 	}
-	if _, err := f.Write(line); err != nil {
+	lo, hi := s.Words()
+	if err := f.Append(storeRecord{Lo: lo, Hi: hi, U: u}); err != nil {
 		st.recordErr(err)
 		return err
 	}
@@ -126,7 +109,8 @@ func (st *Store) Append(fingerprint string, s combin.Coalition, u float64) error
 
 // recordErr keeps the first write failure for Close. Callers on the
 // evaluation hot path deliberately ignore per-record errors (persistence
-// must not fail a valuation), so Close is where they surface.
+// must not fail a valuation), so Close is where they surface. Call with
+// st.mu held.
 func (st *Store) recordErr(err error) {
 	if st.err == nil {
 		st.err = err
@@ -170,79 +154,44 @@ func (st *Store) Compact(fingerprint string) (kept, dropped int, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	path := st.path(fingerprint)
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return 0, 0, nil
-		}
-		return 0, 0, fmt.Errorf("utility: compact: %w", err)
-	}
 	entries := make(map[combin.Coalition]float64)
 	var order []combin.Coalition
 	lines := 0
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
+	scanErr := ScanJSONL(path, func(line []byte) {
 		lines++
 		var rec storeRecord
-		if json.Unmarshal(sc.Bytes(), &rec) != nil {
-			continue
+		if json.Unmarshal(line, &rec) != nil {
+			return
 		}
 		s := combin.FromWords(rec.Lo, rec.Hi)
 		if _, seen := entries[s]; !seen {
 			order = append(order, s)
 		}
 		entries[s] = rec.U
-	}
-	scanErr := sc.Err()
-	f.Close()
+	})
 	if scanErr != nil {
 		return 0, 0, fmt.Errorf("utility: compact: %w", scanErr)
 	}
 	kept = len(entries)
 	dropped = lines - kept
-	if dropped == 0 {
+	if lines == 0 || dropped == 0 {
 		return kept, 0, nil
 	}
 
-	tmp, err := os.CreateTemp(st.dir, fingerprint+".compact-*")
-	if err != nil {
-		return kept, dropped, fmt.Errorf("utility: compact: %w", err)
-	}
-	// CreateTemp makes the file 0600; keep the permissions Append created
-	// the original with, or cross-process readers lose the cache.
-	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return kept, dropped, fmt.Errorf("utility: compact: %w", err)
-	}
-	w := bufio.NewWriter(tmp)
+	rows := make([][]byte, 0, len(order))
 	for _, s := range order {
 		lo, hi := s.Words()
 		line, err := json.Marshal(storeRecord{Lo: lo, Hi: hi, U: entries[s]})
 		if err == nil {
-			w.Write(line)
-			w.WriteByte('\n')
+			rows = append(rows, line)
 		}
-	}
-	if err := w.Flush(); err == nil {
-		err = tmp.Sync()
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp.Name())
-		return kept, dropped, fmt.Errorf("utility: compact: %w", err)
 	}
 	// Retire the open append handle before swapping the file underneath
 	// it; the next Append reopens against the compacted file.
 	if open, ok := st.files[fingerprint]; ok {
 		open.Close()
-		delete(st.files, fingerprint)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := ReplaceJSONL(path, rows); err != nil {
 		return kept, dropped, fmt.Errorf("utility: compact: %w", err)
 	}
 	return kept, dropped, nil

@@ -16,14 +16,19 @@ import (
 	"fedshap/internal/utility"
 )
 
-// TestMain doubles as the entry point for spawned worker processes: when
-// FEDSHAP_TEST_WORKER_ADDR is set, the test binary is a fedvalworker-style
-// daemon instead of a test run. This is how the distributed tests exercise
-// real OS worker processes over loopback TCP without shipping a prebuilt
-// binary.
+// TestMain doubles as the entry point for spawned helper processes: with
+// FEDSHAP_TEST_WORKER_ADDR set the test binary is a fedvalworker-style
+// daemon, with FEDSHAP_TEST_DAEMON_DIR it is a fedvald-style daemon (see
+// recovery_test.go). This is how the distributed and crash-recovery tests
+// exercise real OS processes over loopback TCP without shipping a
+// prebuilt binary.
 func TestMain(m *testing.M) {
 	if addr := os.Getenv("FEDSHAP_TEST_WORKER_ADDR"); addr != "" {
 		runTestWorker(addr)
+		os.Exit(0)
+	}
+	if dir := os.Getenv("FEDSHAP_TEST_DAEMON_DIR"); dir != "" {
+		runTestDaemon(dir)
 		os.Exit(0)
 	}
 	os.Exit(m.Run())

@@ -1,0 +1,103 @@
+package valserve
+
+import (
+	"sync"
+
+	"fedshap"
+)
+
+// Event is one notification on a job's event stream: a type (see the
+// Event* constants) plus a full status snapshot taken at the moment of
+// the transition. Snapshots are self-contained — consumers render the
+// latest one they hold and never need to merge deltas, which is what
+// makes dropped intermediate events (slow subscribers) harmless.
+type Event struct {
+	// Type is the event name: submitted, running, progress, done,
+	// failed or cancelled.
+	Type string
+	// Status is the job's status snapshot at the transition. For done
+	// events it includes the final Report.
+	Status *fedshap.JobStatus
+}
+
+// eventHub fans job events out to per-job subscribers. All channel sends
+// and closes happen under the hub mutex, so publishing a terminal event
+// (which closes subscriber channels) can never race a concurrent send.
+type eventHub struct {
+	mu   sync.Mutex
+	subs map[string]map[int]chan Event
+	next int
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: make(map[string]map[int]chan Event)}
+}
+
+// watch registers a subscriber for job id and seeds it with the snapshot
+// current() returns — atomically with respect to publishes, so no
+// transition can fall between the snapshot and the registration. If the
+// snapshot is already terminal the channel is closed immediately after
+// the seed event and nothing is registered. The returned cancel is
+// idempotent and safe after the hub has already closed the channel.
+func (h *eventHub) watch(id string, current func() *fedshap.JobStatus) (<-chan Event, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch := make(chan Event, 64)
+	st := current()
+	ch <- Event{Type: eventTypeForState(st.State), Status: st}
+	if st.State.Terminal() {
+		close(ch)
+		return ch, func() {}
+	}
+	h.next++
+	key := h.next
+	if h.subs[id] == nil {
+		h.subs[id] = make(map[int]chan Event)
+	}
+	h.subs[id][key] = ch
+	cancel := func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if m := h.subs[id]; m != nil {
+			delete(m, key)
+			if len(m) == 0 {
+				delete(h.subs, id)
+			}
+		}
+	}
+	return ch, cancel
+}
+
+// publish delivers ev to every subscriber of the job. A slow subscriber
+// loses its oldest buffered event, never the newest — the final snapshot
+// always gets through. A terminal event closes and removes every
+// subscriber for the job.
+func (h *eventHub) publish(id string, ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ch := range h.subs[id] {
+		sendLatest(ch, ev)
+	}
+	if ev.Status != nil && ev.Status.State.Terminal() {
+		for _, ch := range h.subs[id] {
+			close(ch)
+		}
+		delete(h.subs, id)
+	}
+}
+
+// sendLatest delivers without blocking: when the buffer is full, the
+// oldest pending event is dropped to make room for the newest.
+func sendLatest(ch chan Event, ev Event) {
+	for {
+		select {
+		case ch <- ev:
+			return
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+		}
+	}
+}

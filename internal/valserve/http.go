@@ -3,6 +3,7 @@ package valserve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 
@@ -15,11 +16,13 @@ import (
 //	GET    /v1/jobs             list jobs, newest first
 //	GET    /v1/jobs/{id}        poll one job's status and progress
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events stream job events (Server-Sent Events)
 //	GET    /v1/jobs/{id}/report fetch a finished job's valuation report
 //	GET    /v1/workers          list attached remote evaluation workers
 //	GET    /healthz             liveness probe
 //
 // Errors are returned as {"error": "..."} with a matching status code.
+// See docs/api.md at the repo root for the full request/response schema.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -66,6 +69,45 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	// Server-Sent Events: an initial snapshot event, then every state
+	// transition and progress checkpoint until the job terminates. Each
+	// frame is "event: <type>" + "data: <JobStatus JSON>". The stream
+	// closes itself after the terminal event; clients that lose it (proxy
+	// timeout, daemon restart) fall back to polling GET /v1/jobs/{id}.
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		ch, cancel, err := m.Watch(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		defer cancel()
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		for {
+			select {
+			case <-r.Context().Done():
+				return // client went away
+			case ev, ok := <-ch:
+				if !ok {
+					return // terminal event delivered
+				}
+				data, err := json.Marshal(ev.Status)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+				fl.Flush()
+			}
+		}
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
 		st, err := m.Get(r.PathValue("id"))

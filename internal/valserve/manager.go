@@ -6,8 +6,10 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,6 +35,20 @@ type Config struct {
 	// CacheDir roots the persistent utility store; "" disables
 	// persistence.
 	CacheDir string
+	// JournalPath names the durable job journal (append-only JSONL; see
+	// Journal). On startup the journal is replayed: completed jobs
+	// reload their reports, interrupted jobs are requeued and start warm
+	// from the utility store. "" disables durability — jobs and reports
+	// are lost on restart. The journal must not live inside CacheDir
+	// with a .jsonl extension, or store compaction would rewrite it.
+	JournalPath string
+	// JobTTL expires terminal jobs this long after they finish: expired
+	// jobs disappear from the API and are pruned from the journal on the
+	// next compaction. 0 keeps finished jobs forever.
+	JobTTL time.Duration
+	// GCInterval is how often the TTL sweep runs (default 1 minute;
+	// only meaningful with JobTTL > 0).
+	GCInterval time.Duration
 	// BuildProblem overrides problem construction. Tests inject synthetic
 	// games; nil uses the experiments constructors (and strict dataset
 	// validation).
@@ -49,14 +65,25 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu     sync.Mutex
-	status fedshap.JobStatus
+	// notify fans a transition event (with its snapshot) into the
+	// journal and the event hub. Set once, before the job is visible to
+	// workers or watchers; nil in bare tests.
+	notify func(event string, st *fedshap.JobStatus)
+
+	// emitMu serialises [mutate status + emit event] as one unit, so
+	// journal records and hub events are appended in the same order the
+	// transitions happened — without it, a stale non-terminal snapshot
+	// could land after the terminal record and a replay would resurrect
+	// a finished job. Lock order: emitMu before mu (readers take only mu).
+	emitMu sync.Mutex
+
+	mu            sync.Mutex
+	status        fedshap.JobStatus
+	userCancelled bool // Cancel() was called: terminal across restarts
 }
 
-// snapshot returns a copy safe to serialise concurrently with updates.
-func (j *Job) snapshot() *fedshap.JobStatus {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+// snapshotLocked copies the status; the caller holds j.mu.
+func (j *Job) snapshotLocked() *fedshap.JobStatus {
 	st := j.status
 	if j.status.StartedAt != nil {
 		t := *j.status.StartedAt
@@ -69,13 +96,30 @@ func (j *Job) snapshot() *fedshap.JobStatus {
 	return &st
 }
 
+// snapshot returns a copy safe to serialise concurrently with updates.
+func (j *Job) snapshot() *fedshap.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+// emit publishes one event; callers hold emitMu but never j.mu (notify
+// re-enters no job locks).
+func (j *Job) emit(event string, st *fedshap.JobStatus) {
+	if j.notify != nil {
+		j.notify(event, st)
+	}
+}
+
 // markRunning moves queued → running, reporting false if the job was
 // cancelled while waiting. A context cancelled before start (Manager.Close)
 // terminates the job here, before any expensive problem construction.
 func (j *Job) markRunning() bool {
+	j.emitMu.Lock()
+	defer j.emitMu.Unlock()
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.status.State != fedshap.JobQueued {
+		j.mu.Unlock()
 		return false
 	}
 	now := time.Now().UTC()
@@ -83,21 +127,33 @@ func (j *Job) markRunning() bool {
 		j.status.State = fedshap.JobCancelled
 		j.status.Error = "cancelled before start"
 		j.status.FinishedAt = &now
+		st := j.snapshotLocked()
+		j.mu.Unlock()
+		j.emit(EventCancelled, st)
 		return false
 	}
 	j.status.State = fedshap.JobRunning
 	j.status.StartedAt = &now
+	st := j.snapshotLocked()
+	j.mu.Unlock()
+	j.emit(EventRunning, st)
 	return true
 }
 
 // setFresh records progress from the oracle's evaluation hook; the counter
 // is monotone even under concurrent evaluation workers.
 func (j *Job) setFresh(total int) {
+	j.emitMu.Lock()
+	defer j.emitMu.Unlock()
 	j.mu.Lock()
-	if total > j.status.FreshEvals {
-		j.status.FreshEvals = total
+	if total <= j.status.FreshEvals || j.status.State.Terminal() {
+		j.mu.Unlock()
+		return
 	}
+	j.status.FreshEvals = total
+	st := j.snapshotLocked()
 	j.mu.Unlock()
+	j.emit(EventProgress, st)
 }
 
 func (j *Job) setWarmed(n int) {
@@ -120,9 +176,11 @@ func (j *Job) setRemoteWorkers(n int) {
 
 // finish moves the job to a terminal state.
 func (j *Job) finish(state fedshap.JobState, errMsg string, report *fedshap.Report) {
+	j.emitMu.Lock()
+	defer j.emitMu.Unlock()
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.status.State.Terminal() {
+		j.mu.Unlock()
 		return
 	}
 	now := time.Now().UTC()
@@ -130,15 +188,32 @@ func (j *Job) finish(state fedshap.JobState, errMsg string, report *fedshap.Repo
 	j.status.Error = errMsg
 	j.status.Report = report
 	j.status.FinishedAt = &now
+	st := j.snapshotLocked()
+	j.mu.Unlock()
+	j.emit(eventTypeForState(state), st)
+}
+
+// wasUserCancelled reports whether Cancel was explicitly requested for
+// this job — the one kind of interruption that stays terminal across a
+// daemon restart.
+func (j *Job) wasUserCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCancelled
 }
 
 // Manager queues, executes, observes and cancels valuation jobs over a
-// bounded worker pool and a shared persistent utility store.
+// bounded worker pool, a shared persistent utility store, and (when
+// configured) a durable job journal that survives daemon restarts.
 type Manager struct {
-	cfg   Config
-	store *utility.Store
-	queue chan *Job
-	wg    sync.WaitGroup
+	cfg     Config
+	store   *utility.Store
+	journal *Journal
+	hub     *eventHub
+	queue   chan *Job
+	wg      sync.WaitGroup
+	gcStop  chan struct{}
+	gcDone  chan struct{}
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -155,8 +230,10 @@ var ErrClosed = errors.New("valserve: manager closed")
 // ErrNotFound is returned for unknown job IDs.
 var ErrNotFound = errors.New("valserve: job not found")
 
-// NewManager opens the persistent store (if configured) and starts the
-// worker pool.
+// NewManager opens the persistent store and the job journal (as
+// configured), replays the journal — restoring completed jobs and
+// requeuing interrupted ones — and starts the worker pool and the TTL
+// sweep.
 func NewManager(cfg Config) (*Manager, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
@@ -164,10 +241,13 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 64
 	}
+	if err := checkJournalPlacement(cfg); err != nil {
+		return nil, err
+	}
 	m := &Manager{
-		cfg:   cfg,
-		queue: make(chan *Job, cfg.QueueCap),
-		jobs:  make(map[string]*Job),
+		cfg:  cfg,
+		hub:  newEventHub(),
+		jobs: make(map[string]*Job),
 	}
 	if cfg.CacheDir != "" {
 		st, err := utility.OpenStore(cfg.CacheDir)
@@ -175,6 +255,32 @@ func NewManager(cfg Config) (*Manager, error) {
 			return nil, err
 		}
 		m.store = st
+	}
+	var pending []*Job
+	if cfg.JournalPath != "" {
+		jl, err := OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		m.journal = jl
+		if pending, err = m.replay(); err != nil {
+			return nil, err
+		}
+	}
+	// The queue is sized after replay so every job the previous process
+	// life left unfinished is guaranteed a slot — recovery must never
+	// fail jobs that survived a crash just because QueueCap is smaller
+	// than the backlog.
+	queueCap := cfg.QueueCap
+	if len(pending) > queueCap {
+		queueCap = len(pending)
+	}
+	m.queue = make(chan *Job, queueCap)
+	// Requeue the recovered jobs in their original submission order,
+	// ahead of any new submissions. They run against the warmed utility
+	// store, so already-evaluated coalitions cost nothing.
+	for _, j := range pending {
+		m.queue <- j
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		m.wg.Add(1)
@@ -185,12 +291,128 @@ func NewManager(cfg Config) (*Manager, error) {
 			}
 		}()
 	}
+	if cfg.JobTTL > 0 {
+		interval := cfg.GCInterval
+		if interval <= 0 {
+			interval = time.Minute
+		}
+		m.gcStop = make(chan struct{})
+		m.gcDone = make(chan struct{})
+		go m.gcLoop(interval)
+	}
 	return m, nil
+}
+
+// checkJournalPlacement rejects a journal that store compaction would
+// mistake for a fingerprint cache file and rewrite as utilities. Paths
+// are resolved to absolute form first, so a relative cache dir and an
+// absolute journal path naming the same directory (or vice versa) are
+// still caught.
+func checkJournalPlacement(cfg Config) error {
+	if cfg.JournalPath == "" || cfg.CacheDir == "" || !strings.HasSuffix(cfg.JournalPath, ".jsonl") {
+		return nil
+	}
+	journalDir := filepath.Dir(cfg.JournalPath)
+	cacheDir := filepath.Clean(cfg.CacheDir)
+	if abs, err := filepath.Abs(journalDir); err == nil {
+		journalDir = abs
+	}
+	if abs, err := filepath.Abs(cacheDir); err == nil {
+		cacheDir = abs
+	}
+	if journalDir == cacheDir {
+		return fmt.Errorf("valserve: journal %q must not be a .jsonl file inside the cache directory %q (store compaction would rewrite it)",
+			cfg.JournalPath, cfg.CacheDir)
+	}
+	return nil
+}
+
+// attachNotify wires a job's transition events into the journal and the
+// event hub. Must run before the job becomes visible to workers or
+// watchers.
+func (m *Manager) attachNotify(j *Job) {
+	j.notify = func(event string, st *fedshap.JobStatus) {
+		if m.journal != nil {
+			m.journal.Append(event, st)
+		}
+		m.hub.publish(st.ID, Event{Type: event, Status: st})
+	}
+}
+
+// replay rebuilds the job table from the journal: terminal jobs are
+// restored read-only (reports included), interrupted jobs are reset to
+// queued and returned for requeuing. The ID counter advances past every
+// replayed ordinal, and the journal is compacted to one snapshot per
+// surviving job, dropping the previous life's event history.
+func (m *Manager) replay() ([]*Job, error) {
+	entries, err := m.journal.Replay()
+	if err != nil {
+		return nil, err
+	}
+	var pending []*Job
+	for _, st := range entries {
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &Job{ctx: ctx, cancel: cancel}
+		if st.State.Terminal() {
+			cancel()
+			j.status = *st
+		} else {
+			j.status = *resetForRequeue(st)
+			pending = append(pending, j)
+		}
+		m.attachNotify(j)
+		m.jobs[j.status.ID] = j
+		if n := idOrdinal(j.status.ID); n > m.seq {
+			m.seq = n
+		}
+	}
+	if err := m.journal.Compact(m.snapshotsOldestFirst()); err != nil {
+		return nil, err
+	}
+	return pending, nil
+}
+
+// resetForRequeue returns a copy of an interrupted job's status ready for
+// a fresh run: back to queued, progress and per-run fields cleared, the
+// original submission time and identity kept.
+func resetForRequeue(st *fedshap.JobStatus) *fedshap.JobStatus {
+	reset := *st
+	reset.State = fedshap.JobQueued
+	reset.StartedAt, reset.FinishedAt = nil, nil
+	reset.FreshEvals, reset.WarmedCoalitions, reset.RemoteWorkers = 0, 0, 0
+	reset.Problem, reset.Error = "", ""
+	reset.Report = nil
+	return &reset
+}
+
+// idOrdinal parses the submission ordinal out of a job ID ("j0042-…"),
+// or 0 for foreign IDs.
+func idOrdinal(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d-", &n); err == nil {
+		return n
+	}
+	return 0
+}
+
+// snapshotsOldestFirst returns every job's snapshot in submission order —
+// the order Compact preserves so a replay requeues jobs as originally
+// submitted. Call without holding m.mu.
+func (m *Manager) snapshotsOldestFirst() []*fedshap.JobStatus {
+	out := m.List()
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
 }
 
 // Store exposes the persistent utility store (nil when persistence is
 // disabled), for inspection and tests.
 func (m *Manager) Store() *utility.Store { return m.store }
+
+// Journal exposes the durable job journal (nil when durability is
+// disabled), for inspection and tests.
+func (m *Manager) Journal() *Journal { return m.journal }
 
 // Workers lists the attached remote evaluation workers; empty when no
 // coordinator is configured or no worker has dialled in.
@@ -219,9 +441,15 @@ func (m *Manager) Submit(req fedshap.JobRequest) (*fedshap.JobStatus, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{ctx: ctx, cancel: cancel}
+	m.attachNotify(j)
+	// emitMu is held from before the job becomes visible until the
+	// submitted event is out, so a worker picking the job up immediately
+	// cannot journal its running event ahead of the submission record.
+	j.emitMu.Lock()
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		j.emitMu.Unlock()
 		cancel()
 		return nil, ErrClosed
 	}
@@ -234,21 +462,32 @@ func (m *Manager) Submit(req fedshap.JobRequest) (*fedshap.JobStatus, error) {
 		SubmittedAt: time.Now().UTC(),
 	}
 	m.jobs[j.status.ID] = j
+	// Admission is bounded by the configured QueueCap, not the channel's
+	// capacity: recovery may have sized the channel larger to fit a
+	// replayed backlog, and that headroom must not leak into a higher
+	// steady-state admission limit. Both the length check and the send
+	// happen under m.mu, so the bound is exact.
 	var enqueued bool
-	select {
-	case m.queue <- j:
-		enqueued = true
-	default:
+	if len(m.queue) < m.cfg.QueueCap {
+		select {
+		case m.queue <- j:
+			enqueued = true
+		default:
+		}
 	}
 	if !enqueued {
 		delete(m.jobs, j.status.ID)
 	}
 	m.mu.Unlock()
 	if !enqueued {
+		j.emitMu.Unlock()
 		cancel()
 		return nil, ErrQueueFull
 	}
-	return j.snapshot(), nil
+	st := j.snapshot()
+	j.emit(EventSubmitted, st)
+	j.emitMu.Unlock()
+	return st, nil
 }
 
 // Get returns the status of one job.
@@ -279,6 +518,23 @@ func (m *Manager) List() []*fedshap.JobStatus {
 	return out
 }
 
+// Watch subscribes to a job's event stream. The channel delivers an
+// initial snapshot event immediately, then every subsequent transition
+// and progress checkpoint, and is closed after a terminal event. A slow
+// reader loses intermediate progress events, never the final state. The
+// returned cancel releases the subscription; it is safe to call after the
+// channel closed.
+func (m *Manager) Watch(id string) (<-chan Event, func(), error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch, cancel := m.hub.watch(id, j.snapshot)
+	return ch, cancel, nil
+}
+
 // Cancel stops a job: a queued job terminates immediately, a running job
 // stops before its next fresh coalition evaluation (already-cached
 // utilities may still be read). Cancelling a terminal job is a no-op.
@@ -289,21 +545,80 @@ func (m *Manager) Cancel(id string) (*fedshap.JobStatus, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
+	j.emitMu.Lock()
 	j.mu.Lock()
+	if !j.status.State.Terminal() {
+		j.userCancelled = true
+	}
+	var st *fedshap.JobStatus
 	if j.status.State == fedshap.JobQueued {
 		now := time.Now().UTC()
 		j.status.State = fedshap.JobCancelled
 		j.status.Error = "cancelled while queued"
 		j.status.FinishedAt = &now
+		st = j.snapshotLocked()
 	}
 	j.mu.Unlock()
+	if st != nil {
+		j.emit(EventCancelled, st)
+	}
+	j.emitMu.Unlock()
 	j.cancel()
 	return j.snapshot(), nil
 }
 
+// SweepExpired drops terminal jobs whose FinishedAt is older than the
+// configured JobTTL, pruning them from the API and — via journal
+// compaction — from disk, and returns how many expired. The manager runs
+// it automatically every GCInterval; it is exported for embedders and
+// tests that want a deterministic sweep. With JobTTL <= 0 it is a no-op.
+func (m *Manager) SweepExpired() int {
+	if m.cfg.JobTTL <= 0 {
+		return 0
+	}
+	cutoff := time.Now().UTC().Add(-m.cfg.JobTTL)
+	m.mu.Lock()
+	var expired []string
+	for id, j := range m.jobs {
+		st := j.snapshot()
+		if st.State.Terminal() && st.FinishedAt != nil && st.FinishedAt.Before(cutoff) {
+			expired = append(expired, id)
+		}
+	}
+	for _, id := range expired {
+		delete(m.jobs, id)
+	}
+	m.mu.Unlock()
+	if len(expired) > 0 && m.journal != nil {
+		// Jobs are live during a sweep: collect the snapshots inside the
+		// journal's critical section so a terminal record appended
+		// mid-compaction cannot be lost. The error is kept for Close.
+		_ = m.journal.CompactWith(m.snapshotsOldestFirst)
+	}
+	return len(expired)
+}
+
+// gcLoop periodically expires terminal jobs past the TTL until Close.
+func (m *Manager) gcLoop(interval time.Duration) {
+	defer close(m.gcDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.gcStop:
+			return
+		case <-t.C:
+			m.SweepExpired()
+		}
+	}
+}
+
 // Close cancels every live job, drains the workers, compacts the
-// persistent store (dropping superseded JSONL lines accumulated over the
-// daemon's lifetime) and closes it.
+// persistent store and the journal, and closes both. Jobs that were
+// still queued or running are recorded in the journal as *queued*, not
+// cancelled: a graceful shutdown (SIGTERM) preserves in-flight work, and
+// the next start requeues it warm from the utility store. Only explicit
+// user cancellation is terminal across restarts.
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -317,15 +632,49 @@ func (m *Manager) Close() error {
 	}
 	close(m.queue)
 	m.mu.Unlock()
+
+	// Remember which jobs the shutdown itself interrupts, before the
+	// cancellation below marks them cancelled. Jobs the user already
+	// asked to cancel are excluded — user cancellation stays terminal
+	// even when the cancel and the shutdown race.
+	interrupted := make(map[string]*Job)
+	for _, j := range jobs {
+		if st := j.snapshot(); !st.State.Terminal() && !j.wasUserCancelled() {
+			interrupted[st.ID] = j
+		}
+	}
+	if m.gcStop != nil {
+		close(m.gcStop)
+		<-m.gcDone
+	}
 	for _, j := range jobs {
 		j.cancel()
 	}
 	m.wg.Wait()
+
+	var errs []error
+	if m.journal != nil {
+		snaps := m.snapshotsOldestFirst()
+		for i, st := range snaps {
+			// A job both interrupted by shutdown and finished cancelled
+			// was killed by Close, not the user: journal it as queued so
+			// the next start resumes it. A job that still completed
+			// (done/failed) between the snapshot and the cancel keeps
+			// its real outcome, and a user cancel that landed during
+			// shutdown stays cancelled.
+			j := interrupted[st.ID]
+			if j != nil && st.State == fedshap.JobCancelled && !j.wasUserCancelled() {
+				snaps[i] = resetForRequeue(st)
+			}
+		}
+		errs = append(errs, m.journal.Compact(snaps))
+		errs = append(errs, m.journal.Close())
+	}
 	if m.store != nil {
 		_, _, cerr := m.store.CompactAll()
-		return errors.Join(cerr, m.store.Close())
+		errs = append(errs, cerr, m.store.Close())
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // buildProblem dispatches to the injected builder or the experiments

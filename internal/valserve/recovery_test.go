@@ -1,0 +1,336 @@
+package valserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fedshap"
+	"fedshap/internal/experiments"
+)
+
+// runTestDaemon is the FEDSHAP_TEST_DAEMON_DIR entry point (see TestMain):
+// a fedvald-style daemon over the additive test game, with journal and
+// cache rooted in dir. It writes its listen address to dir/addr for the
+// parent test and serves until killed — the crash-recovery e2e SIGKILLs
+// it mid-job, exactly like a daemon host dying.
+func runTestDaemon(dir string) {
+	delayMS, _ := strconv.Atoi(os.Getenv("FEDSHAP_TEST_DAEMON_GAME_DELAY_MS"))
+	m, err := NewManager(Config{
+		Workers:      1,
+		EvalWorkers:  2,
+		CacheDir:     filepath.Join(dir, "cache"),
+		JournalPath:  filepath.Join(dir, "jobs.jsonl"),
+		BuildProblem: gameBuilder(time.Duration(delayMS)*time.Millisecond, nil),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "test daemon:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "test daemon:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "addr"), []byte(ln.Addr().String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "test daemon:", err)
+		os.Exit(1)
+	}
+	_ = (&http.Server{Handler: NewHandler(m)}).Serve(ln)
+}
+
+// spawnDaemonProcess re-executes the test binary as a daemon process
+// rooted at dir and returns a client for it plus the process handle.
+func spawnDaemonProcess(t *testing.T, dir string, gameDelayMS int) (*fedshap.ServiceClient, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		"FEDSHAP_TEST_DAEMON_DIR="+dir,
+		fmt.Sprintf("FEDSHAP_TEST_DAEMON_GAME_DELAY_MS=%d", gameDelayMS),
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	addrFile := filepath.Join(dir, "addr")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return fedshap.NewServiceClient("http://" + string(b)), cmd
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon process never published its address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCrashRecoveryE2E is the acceptance end-to-end for the durable
+// journal: a real daemon OS process is SIGKILLed in the middle of a job,
+// and a manager restarted over the same journal + utility store must
+// (1) serve the pre-crash completed job's report bit-identically, and
+// (2) resume the interrupted job warm — every coalition persisted before
+// the kill is replayed from the store with zero fresh evaluations, and
+// the final report is bit-identical to an uninterrupted run.
+func TestCrashRecoveryE2E(t *testing.T) {
+	dir := t.TempDir()
+	client, daemon := spawnDaemonProcess(t, dir, 10)
+	ctx := context.Background()
+
+	// Job A completes before the crash; its report must survive verbatim.
+	reqA := fedshap.JobRequest{N: 6, Algorithm: "ipss", Gamma: 12, Seed: 5}
+	stA, err := client.Submit(ctx, reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume A over the SSE stream — the acceptance event sequence
+	// (submitted/running → progress → done) on a real daemon.
+	var sawProgress, sawDone bool
+	finA, err := client.WatchJob(ctx, stA.ID, func(event string, s *fedshap.JobStatus) {
+		switch event {
+		case "progress":
+			sawProgress = true
+		case "done":
+			sawDone = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finA.State != fedshap.JobDone || !sawProgress || !sawDone {
+		t.Fatalf("job A over SSE: state=%s progress=%v done=%v", finA.State, sawProgress, sawDone)
+	}
+
+	// Job B: exact over n=8 (256 evaluations, ~10ms each on a 2-slot
+	// pool). Kill the daemon once a few dozen utilities are persisted.
+	reqB := fedshap.JobRequest{N: 8, Algorithm: "exact", Seed: 1}
+	stB, err := client.Submit(ctx, reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.WatchJob(ctx, stB.ID, func(event string, s *fedshap.JobStatus) {
+		if s.FreshEvals >= 48 {
+			_ = daemon.Process.Kill() // SIGKILL: no shutdown hooks run
+		}
+	})
+	if err == nil {
+		t.Fatal("stream survived a SIGKILLed daemon")
+	}
+	_, _ = daemon.Process.Wait()
+
+	// Restart over the same journal and store, counting every fresh
+	// evaluation the second life performs.
+	var evals atomic.Int64
+	m2, err := NewManager(Config{
+		Workers:      1,
+		CacheDir:     filepath.Join(dir, "cache"),
+		JournalPath:  filepath.Join(dir, "jobs.jsonl"),
+		BuildProblem: gameBuilder(0, &evals),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+
+	// (1) Job A recovered with a bit-identical report, no recomputation.
+	recA, err := m2.Get(stA.ID)
+	if err != nil {
+		t.Fatalf("job A not recovered: %v", err)
+	}
+	if recA.State != fedshap.JobDone || recA.Report == nil {
+		t.Fatalf("job A recovered as %s", recA.State)
+	}
+	for i := range finA.Report.Values {
+		if finA.Report.Values[i] != recA.Report.Values[i] {
+			t.Errorf("job A value[%d] = %v after restart, want %v", i, recA.Report.Values[i], finA.Report.Values[i])
+		}
+	}
+
+	// (2) Job B resumes warm and finishes. Every coalition persisted
+	// before the kill must come from the store, not retraining: fresh +
+	// warmed covers the full power set exactly, and the second life's
+	// evaluation count equals its fresh count (zero re-evaluations of
+	// replayed coalitions).
+	finB := waitState(t, m2, stB.ID, terminal)
+	if finB.State != fedshap.JobDone {
+		t.Fatalf("job B after crash restart: %s (%s)", finB.State, finB.Error)
+	}
+	// The kill fired after 48 observed evaluations; allow a little slack
+	// for writes that were mid-flight when SIGKILL landed.
+	if finB.WarmedCoalitions < 40 {
+		t.Errorf("job B warmed only %d coalitions; ~48 were persisted before the kill", finB.WarmedCoalitions)
+	}
+	if finB.FreshEvals+finB.WarmedCoalitions != 256 {
+		t.Errorf("fresh %d + warmed %d != 256: coalitions lost or retrained",
+			finB.FreshEvals, finB.WarmedCoalitions)
+	}
+	if got := int(evals.Load()); got != finB.FreshEvals {
+		t.Errorf("second life trained %d coalitions but reported %d fresh: replayed coalitions were re-evaluated",
+			got, finB.FreshEvals)
+	}
+
+	// Bit-identical to a never-crashed run of the same job.
+	base, err := NewManager(Config{Workers: 1, BuildProblem: gameBuilder(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	stBase, err := base.Submit(reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finBase := waitState(t, base, stBase.ID, terminal)
+	if finBase.State != fedshap.JobDone {
+		t.Fatalf("baseline run: %s (%s)", finBase.State, finBase.Error)
+	}
+	for i := range finBase.Report.Values {
+		if finBase.Report.Values[i] != finB.Report.Values[i] {
+			t.Errorf("value[%d]: recovered %v != uninterrupted %v", i, finB.Report.Values[i], finBase.Report.Values[i])
+		}
+	}
+}
+
+// TestServiceEventStream drives the SSE endpoint over real loopback HTTP:
+// WatchJob must deliver submitted → running → progress… → done in order,
+// and a cancelled watch context must end the stream with ctx.Err while
+// the job keeps running.
+func TestServiceEventStream(t *testing.T) {
+	gate := make(chan struct{})
+	first := true
+	client, _ := startDaemon(t, Config{
+		Workers:     1,
+		EvalWorkers: 1,
+		BuildProblem: func(req fedshap.JobRequest) (*experiments.Problem, error) {
+			if first {
+				first = false
+				<-gate // hold the single worker so the watched job stays queued
+			}
+			// A slow game keeps later jobs observable mid-run (the
+			// cancelled-watch phase below needs the job still running).
+			return gameBuilder(3*time.Millisecond, nil)(req)
+		},
+	})
+	ctx := context.Background()
+
+	if _, err := client.WatchJob(ctx, "no-such-job", nil); !errors.Is(err, fedshap.ErrJobNotFound) {
+		t.Errorf("WatchJob(unknown) err = %v, want ErrJobNotFound", err)
+	}
+
+	blocker, err := client.Submit(ctx, fedshap.JobRequest{N: 3, Algorithm: "ipss", Gamma: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, client, blocker.ID, func(s *fedshap.JobStatus) bool { return s.State == fedshap.JobRunning })
+	st, err := client.Submit(ctx, fedshap.JobRequest{N: 5, Algorithm: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type frame struct {
+		event string
+		fresh int
+	}
+	frames := make(chan frame, 256)
+	watchErr := make(chan error, 1)
+	go func() {
+		_, err := client.WatchJob(ctx, st.ID, func(event string, s *fedshap.JobStatus) {
+			frames <- frame{event, s.FreshEvals}
+		})
+		watchErr <- err
+	}()
+	// The first frame must be the queued snapshot — the job cannot run
+	// while the blocker holds the worker.
+	select {
+	case f := <-frames:
+		if f.event != "submitted" {
+			t.Errorf("first event = %q, want submitted", f.event)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("no snapshot event")
+	}
+	close(gate)
+	if err := <-watchErr; err != nil {
+		t.Fatalf("WatchJob: %v", err)
+	}
+	var types []string
+	fresh := -1
+	for {
+		var f frame
+		select {
+		case f = <-frames:
+		default:
+			f = frame{"", -1}
+		}
+		if f.event == "" {
+			break
+		}
+		if len(types) == 0 || types[len(types)-1] != f.event {
+			types = append(types, f.event)
+		}
+		if f.fresh > fresh {
+			fresh = f.fresh
+		}
+	}
+	want := []string{"running", "progress", "done"}
+	if len(types) != len(want) {
+		t.Fatalf("event sequence after snapshot = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("event sequence after snapshot = %v, want %v", types, want)
+		}
+	}
+	if fresh != 32 {
+		t.Errorf("final fresh over the stream = %d, want 32 (2^5)", fresh)
+	}
+
+	// A watch cancelled mid-stream returns ctx.Err without disturbing the
+	// job (256 evaluations at 3ms each: still running at cancel time).
+	slow, err := client.Submit(ctx, fedshap.JobRequest{N: 8, Algorithm: "exact", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithCancel(ctx)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		wcancel()
+	}()
+	if _, err := client.WatchJob(wctx, slow.ID, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled watch err = %v, want context.Canceled", err)
+	}
+	fin := waitJob(t, client, slow.ID, func(s *fedshap.JobStatus) bool { return s.State.Terminal() })
+	if fin.State != fedshap.JobDone {
+		t.Errorf("job after cancelled watch: %s (%s), want done", fin.State, fin.Error)
+	}
+}
+
+// waitJob polls over HTTP until the job satisfies ok, or times out.
+func waitJob(t *testing.T, client *fedshap.ServiceClient, id string, ok func(*fedshap.JobStatus) bool) *fedshap.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := client.Job(context.Background(), id)
+		if err != nil {
+			t.Fatalf("Job(%s): %v", id, err)
+		}
+		if ok(st) {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach the expected state in time", id)
+	return nil
+}

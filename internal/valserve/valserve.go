@@ -11,11 +11,22 @@
 // the disk store survives the process (and is compacted on shutdown), and
 // budget accounting (fresh evaluations) distinguishes new work from reuse.
 //
+// The service is durable: a Journal records every submission, state
+// transition, progress checkpoint and final report as append-only JSONL.
+// On restart the Manager replays it — completed jobs reload their reports
+// verbatim, interrupted jobs are requeued and start warm from the utility
+// store (coalitions evaluated before the crash cost nothing), and
+// cancelled jobs stay terminal. A TTL sweep expires old jobs and compacts
+// the journal. The same transition events feed per-job subscribers
+// (Manager.Watch), which the HTTP layer exposes as Server-Sent Events on
+// GET /v1/jobs/{id}/events.
+//
 // With an internal/evalnet coordinator configured, the service also scales
 // one job's evaluations *out*: coalition training fans across a fleet of
 // remote worker daemons (cmd/fedvalworker) through the oracle's evaluation
 // seam, falling back to in-process evaluation while no workers are
-// attached. See ARCHITECTURE.md at the repo root for the full layer map.
+// attached. See ARCHITECTURE.md at the repo root for the full layer map
+// and OPERATIONS.md for the operator runbook.
 package valserve
 
 import (

@@ -2,17 +2,20 @@ package fedshap_test
 
 import (
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
 )
 
-// TestMarkdownLinks verifies every relative link in the repo's top-level
+// TestMarkdownLinks verifies every relative link in the repo's
 // documentation resolves to an existing file, so README/ARCHITECTURE/
-// ROADMAP cross-references can't silently rot. External URLs and anchors
-// are skipped. CI runs this alongside the Go suite.
+// ROADMAP/OPERATIONS/docs cross-references can't silently rot. Link
+// targets are resolved relative to the document that contains them.
+// External URLs and anchors are skipped. CI runs this alongside the Go
+// suite.
 func TestMarkdownLinks(t *testing.T) {
-	docs := []string{"README.md", "ARCHITECTURE.md", "ROADMAP.md"}
+	docs := []string{"README.md", "ARCHITECTURE.md", "ROADMAP.md", "OPERATIONS.md", "docs/api.md"}
 	linkRE := regexp.MustCompile(`\]\(([^)\s]+)\)`)
 	for _, doc := range docs {
 		data, err := os.ReadFile(doc)
@@ -32,7 +35,8 @@ func TestMarkdownLinks(t *testing.T) {
 			if target == "" {
 				continue
 			}
-			if _, err := os.Stat(target); err != nil {
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
 				t.Errorf("%s: broken link %q: %v", doc, m[1], err)
 			}
 		}

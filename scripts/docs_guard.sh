@@ -1,0 +1,46 @@
+#!/bin/sh
+# docs_guard.sh — fails CI when the documentation drifts from the code:
+# every HTTP route documented in README/OPERATIONS/docs/api.md must be
+# registered verbatim in internal/valserve/http.go, and every
+# standalone backtick-quoted `-flag` must be defined by some cmd/
+# binary. Run from the repo root: sh scripts/docs_guard.sh
+set -eu
+
+status=0
+
+# --- Routes -----------------------------------------------------------
+# Documented routes look like "GET /v1/jobs/{id}/events"; the Go 1.22
+# ServeMux patterns in http.go use the identical spelling, so a plain
+# fixed-string grep is the staleness check.
+routes=$(grep -ohE '(GET|POST|DELETE) /(v1/[A-Za-z0-9/{}_-]*|healthz)' \
+	README.md OPERATIONS.md docs/api.md | sort -u)
+while IFS= read -r route; do
+	[ -n "$route" ] || continue
+	if ! grep -qF "$route" internal/valserve/http.go; then
+		echo "stale docs: route \"$route\" is documented but not registered in internal/valserve/http.go" >&2
+		status=1
+	fi
+done <<EOF
+$routes
+EOF
+
+# --- Flags ------------------------------------------------------------
+# Standalone backticked flags (`-journal`, `-job-ttl`, …) must be
+# defined via the flag package in some cmd/*/main.go. Flags quoted with
+# arguments (`-data femnist`) are deliberately not matched.
+flags=$(grep -ohE '`-[a-z][a-z-]*`' README.md OPERATIONS.md docs/api.md |
+	tr -d '`' | sed 's/^-//' | sort -u)
+while IFS= read -r f; do
+	[ -n "$f" ] || continue
+	if ! grep -qE "flag\.[A-Za-z0-9]+\(\"$f\"" cmd/*/main.go; then
+		echo "stale docs: flag \"-$f\" is documented but not defined in any cmd/*/main.go" >&2
+		status=1
+	fi
+done <<EOF
+$flags
+EOF
+
+if [ "$status" -eq 0 ]; then
+	echo "docs guard: all documented routes and flags exist"
+fi
+exit "$status"

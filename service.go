@@ -1,6 +1,7 @@
 package fedshap
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -170,22 +171,28 @@ func (c *ServiceClient) do(ctx context.Context, method, path string, body, out a
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		if resp.StatusCode == http.StatusNotFound {
-			return ErrJobNotFound
-		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		msg := resp.Status
-		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
-			msg = e.Error
-		}
-		return &ServiceError{StatusCode: resp.StatusCode, Message: msg}
+		return decodeServiceError(resp)
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeServiceError turns a non-2xx daemon response into an error,
+// extracting the {"error": "..."} envelope when present.
+func decodeServiceError(resp *http.Response) error {
+	if resp.StatusCode == http.StatusNotFound {
+		return ErrJobNotFound
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return &ServiceError{StatusCode: resp.StatusCode, Message: msg}
 }
 
 // Submit enqueues a valuation job and returns its initial status.
@@ -245,9 +252,75 @@ func (c *ServiceClient) Report(ctx context.Context, id string) (*Report, error) 
 	return &r, nil
 }
 
+// WatchJob subscribes to a job's server-sent event stream
+// (GET /v1/jobs/{id}/events) and returns its final status once the job
+// reaches a terminal state. onEvent, when non-nil, observes every
+// notification: event is the transition name — "submitted", "running",
+// "progress", "done", "failed" or "cancelled" — and st is the job's full
+// status snapshot at that moment (the done snapshot carries the Report).
+// The daemon pushes events as they happen, so progress arrives without
+// polling latency or per-poll request cost.
+//
+// Cancelling ctx closes the stream and returns the last status seen
+// alongside ctx.Err(). If the stream ends before a terminal event — a
+// daemon restart, a proxy idle-timeout, or a daemon predating the events
+// endpoint — an error is returned; callers wanting robustness fall back
+// to polling Wait, as `fedval -server` does.
+func (c *ServiceClient) WatchJob(ctx context.Context, id string, onEvent func(event string, st *JobStatus)) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeServiceError(resp)
+	}
+	br := bufio.NewReader(resp.Body)
+	var event string
+	var data []byte
+	var last *JobStatus
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if ctx.Err() != nil {
+				return last, ctx.Err()
+			}
+			return last, fmt.Errorf("fedshap: event stream ended before a terminal event: %w", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "": // blank line terminates one SSE frame
+			if len(data) == 0 {
+				continue
+			}
+			var st JobStatus
+			if json.Unmarshal(data, &st) == nil {
+				last = &st
+				if onEvent != nil {
+					onEvent(event, &st)
+				}
+				if st.State.Terminal() {
+					return &st, nil
+				}
+			}
+			event, data = "", nil
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		}
+	}
+}
+
 // Wait polls the job every interval until it reaches a terminal state or
 // ctx is done. onPoll, when non-nil, observes every polled status — the
-// hook progress bars attach to.
+// hook progress bars attach to. WatchJob is the push-based alternative;
+// Wait remains the fallback when the event stream is unavailable.
 func (c *ServiceClient) Wait(ctx context.Context, id string, interval time.Duration, onPoll func(*JobStatus)) (*JobStatus, error) {
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
