@@ -6,6 +6,8 @@ package fedshap
 // minutes; `cmd/benchtab` and `cmd/benchfig` regenerate the full-size rows.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"fedshap/internal/experiments"
@@ -323,23 +325,41 @@ func BenchmarkIPSS(b *testing.B) {
 	}
 }
 
-// BenchmarkFederationValue measures the public-API path end to end.
+// BenchmarkFederationValue measures the public-API path end to end — the
+// acceptance benchmark of the two-level evaluation pipeline: IPSS on an MLP
+// federation, serial against a full worker pool. The workers=N/workers=1
+// wall-clock ratio is the pipeline's speedup; values and evaluation counts
+// are bit-identical across the variants (the parallel determinism suite
+// asserts this).
 func BenchmarkFederationValue(b *testing.B) {
-	clients, test := FederatedWriters(6, 30, 90, 7)
+	clients, test := FederatedWriters(10, 40, 120, 7)
 	fed, err := NewFederation(
 		WithDatasets(clients...),
 		WithTestSet(test),
-		WithLogReg(),
+		WithMLP(12),
 		WithFLRounds(2),
 	)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := fed.Value(IPSS(8), int64(i)); err != nil {
-			b.Fatal(err)
+	gamma := fed.RecommendedGamma() // 32 at n=10 (Table III)
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	dedup := counts[:0]
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			dedup = append(dedup, w)
 		}
+	}
+	for _, workers := range dedup {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fed.ValueParallel(IPSS(gamma), int64(i), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

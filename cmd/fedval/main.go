@@ -54,19 +54,21 @@ func main() {
 		file  = flag.String("file", "", "CSV file for -data csv (features..., integer label last; header auto-detected)")
 		setup = flag.String("setup", string(experiments.SameSizeSameDist),
 			"synthetic partition setup: same-size-same-distr | same-size-diff-distr | diff-size-same-distr | same-size-noisy-label | same-size-noisy-feature")
-		noise     = flag.Float64("noise", 0.1, "noise level for the noisy synthetic setups (0..0.2)")
-		modelKind = flag.String("model", "mlp", "FL model: mlp | cnn | xgb | logreg | deepmlp")
-		n         = flag.Int("n", 6, "number of FL clients (2..127)")
-		algName   = flag.String("alg", "ipss", "algorithm: ipss | ipss-rescaled | exact | perm | stratified-mc | stratified-cc | kgreedy | tmc | gtb | ccshapley | digfl | or | lambdamr | gtg")
-		gamma     = flag.Int("gamma", 0, "sampling budget γ (0 = paper's Table III / n·ln n policy)")
-		k         = flag.Int("k", 2, "K for kgreedy")
-		seed      = flag.Int64("seed", 1, "random seed")
-		scaleName = flag.String("scale", "small", "substrate scale: tiny | small")
-		compare   = flag.Bool("compare", false, "also compute exact values and report the l2 error (2^n trainings)")
-		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
-		server    = flag.String("server", "", "fedvald base URL; when set, run the job remotely instead of locally")
-		poll      = flag.Duration("poll", 300*time.Millisecond, "polling-fallback interval in -server mode (progress normally streams over server-sent events)")
-		workers   = flag.Int("workers", 0, "concurrent coalition evaluations in -server mode (0 = daemon default)")
+		noise        = flag.Float64("noise", 0.1, "noise level for the noisy synthetic setups (0..0.2)")
+		modelKind    = flag.String("model", "mlp", "FL model: mlp | cnn | xgb | logreg | deepmlp")
+		n            = flag.Int("n", 6, "number of FL clients (2..127)")
+		algName      = flag.String("alg", "ipss", "algorithm: ipss | ipss-rescaled | exact | perm | stratified-mc | stratified-cc | kgreedy | tmc | gtb | ccshapley | digfl | or | lambdamr | gtg")
+		gamma        = flag.Int("gamma", 0, "sampling budget γ (0 = paper's Table III / n·ln n policy)")
+		k            = flag.Int("k", 2, "K for kgreedy")
+		seed         = flag.Int64("seed", 1, "random seed")
+		scaleName    = flag.String("scale", "small", "substrate scale: tiny | small")
+		compare      = flag.Bool("compare", false, "also compute exact values and report the l2 error (2^n trainings)")
+		jsonOut      = flag.Bool("json", false, "emit the result as JSON")
+		server       = flag.String("server", "", "fedvald base URL; when set, run the job remotely instead of locally")
+		poll         = flag.Duration("poll", 300*time.Millisecond, "polling-fallback interval in -server mode (progress normally streams over server-sent events)")
+		workers      = flag.Int("workers", 0, "concurrent coalition evaluations in -server mode (0 = daemon default)")
+		evalWorkers  = flag.Int("eval-workers", 1, "concurrent coalition evaluations in local mode: the algorithm's deterministic sampling plan is trained on this many workers, bit-identically to serial (0 = all cores, 1 = serial)")
+		trainWorkers = flag.Int("train-workers", 0, "concurrent per-client local trainings inside each FL round in local mode (<= 1 trains serially; results are bit-identical at any value)")
 	)
 	flag.Parse()
 
@@ -109,6 +111,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *trainWorkers > 1 && p.Spec != nil {
+		p.Spec.Config.Workers = *trainWorkers
+	}
 	alg, err := parseAlg(*algName, *gamma, *k)
 	if err != nil {
 		fatal(err)
@@ -117,10 +122,10 @@ func main() {
 	var exact shapley.Values
 	if *compare {
 		fmt.Fprintf(os.Stderr, "computing exact values (%d coalition trainings)...\n", 1<<uint(*n))
-		exact, _ = experiments.ExactValues(p, *seed+1)
+		exact, _ = experiments.ExactValuesParallel(context.Background(), p, *seed+1, *evalWorkers)
 	}
 
-	res := experiments.RunAlgorithm(p, alg, exact, *seed+2)
+	res := experiments.RunAlgorithmParallel(context.Background(), p, alg, exact, *seed+2, *evalWorkers)
 	if res.RunErr != nil {
 		fatal(res.RunErr)
 	}

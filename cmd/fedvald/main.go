@@ -49,14 +49,15 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:8787", "listen address")
-		workers     = flag.Int("workers", 2, "concurrent valuation jobs")
-		evalWorkers = flag.Int("eval-workers", 0, "concurrent coalition evaluations per job (0 = GOMAXPROCS)")
-		queueCap    = flag.Int("queue", 64, "pending-job queue capacity")
-		cacheDir    = flag.String("cache-dir", "fedval-cache", "persistent utility cache directory (empty disables persistence)")
-		journal     = flag.String("journal", "fedval-jobs.jsonl", "durable job journal file: restart recovery replays it (empty disables durability)")
-		jobTTL      = flag.Duration("job-ttl", 0, "expire finished jobs this long after completion, e.g. 24h (0 keeps them forever)")
-		workerAddr  = flag.String("worker-addr", "", "listen address for remote evaluation workers (fedvalworker); empty disables the fleet")
+		addr         = flag.String("addr", "127.0.0.1:8787", "listen address")
+		workers      = flag.Int("workers", 2, "concurrent valuation jobs")
+		evalWorkers  = flag.Int("eval-workers", 0, "concurrent coalition evaluations per job (0 = GOMAXPROCS)")
+		trainWorkers = flag.Int("train-workers", 0, "concurrent per-client local trainings inside each FL round (<= 1 trains serially; results are bit-identical at any value)")
+		queueCap     = flag.Int("queue", 64, "pending-job queue capacity")
+		cacheDir     = flag.String("cache-dir", "fedval-cache", "persistent utility cache directory (empty disables persistence)")
+		journal      = flag.String("journal", "fedval-jobs.jsonl", "durable job journal file: restart recovery replays it (empty disables durability)")
+		jobTTL       = flag.Duration("job-ttl", 0, "expire finished jobs this long after completion, e.g. 24h (0 keeps them forever)")
+		workerAddr   = flag.String("worker-addr", "", "listen address for remote evaluation workers (fedvalworker); empty disables the fleet")
 	)
 	flag.Parse()
 
@@ -72,13 +73,14 @@ func main() {
 	}
 
 	mgr, err := valserve.NewManager(valserve.Config{
-		Workers:     *workers,
-		EvalWorkers: *evalWorkers,
-		QueueCap:    *queueCap,
-		CacheDir:    *cacheDir,
-		JournalPath: *journal,
-		JobTTL:      *jobTTL,
-		Coordinator: coord,
+		Workers:      *workers,
+		EvalWorkers:  *evalWorkers,
+		TrainWorkers: *trainWorkers,
+		QueueCap:     *queueCap,
+		CacheDir:     *cacheDir,
+		JournalPath:  *journal,
+		JobTTL:       *jobTTL,
+		Coordinator:  coord,
 	})
 	if err != nil {
 		fatal(err)

@@ -29,10 +29,11 @@ import (
 
 func main() {
 	var (
-		coordinator = flag.String("coordinator", "127.0.0.1:8788", "coordinator worker-listener address (fedvald -worker-addr)")
-		capacity    = flag.Int("capacity", 0, "concurrent coalition evaluations (0 = GOMAXPROCS)")
-		name        = flag.String("name", "", "worker name in the fleet listing (default: hostname)")
-		retry       = flag.Duration("retry", 2*time.Second, "reconnect backoff after a lost coordinator")
+		coordinator  = flag.String("coordinator", "127.0.0.1:8788", "coordinator worker-listener address (fedvald -worker-addr)")
+		capacity     = flag.Int("capacity", 0, "concurrent coalition evaluations (0 = GOMAXPROCS)")
+		trainWorkers = flag.Int("train-workers", 0, "concurrent per-client local trainings inside each FL round of one evaluation (<= 1 trains serially; pair -capacity 1 with -train-workers = cores for few-coalition jobs)")
+		name         = flag.String("name", "", "worker name in the fleet listing (default: hostname)")
+		retry        = flag.Duration("retry", 2*time.Second, "reconnect backoff after a lost coordinator")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	w := &evalnet.Worker{Name: *name, Capacity: cap, BuildEval: valserve.WorkerEval}
+	w := &evalnet.Worker{Name: *name, Capacity: cap, BuildEval: valserve.WorkerEvalWith(*trainWorkers)}
 	fmt.Fprintf(os.Stderr, "fedvalworker: %s (capacity %d) dialling %s\n", *name, cap, *coordinator)
 	for {
 		err := w.Dial(ctx, *coordinator)

@@ -44,13 +44,29 @@ func TestValueParallelExact(t *testing.T) {
 
 func TestValueParallelNonPrefetchable(t *testing.T) {
 	fed := tinyFederation(t)
-	// TMC has no deterministic plan; ValueParallel must still work.
+	// TMC's plan covers only the certain prefix of its evaluation
+	// sequence (truncation is utility-dependent); ValueParallel must
+	// evaluate the remainder lazily and still agree with serial.
 	rep, err := fed.ValueParallel(TMC(6), 3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Values) != 3 {
 		t.Errorf("values = %v", rep.Values)
+	}
+}
+
+func TestUtilitiesBatchMatchesUtility(t *testing.T) {
+	fed := tinyFederation(t)
+	coalitions := [][]int{{0}, {1, 2}, {0, 1, 2}, {0}} // incl. a duplicate
+	got := fed.Utilities(coalitions, 4)
+	if len(got) != len(coalitions) {
+		t.Fatalf("got %d utilities, want %d", len(got), len(coalitions))
+	}
+	for i, c := range coalitions {
+		if want := fed.Utility(c); got[i] != want {
+			t.Errorf("utilities[%d] = %v, want %v", i, got[i], want)
+		}
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"fedshap/internal/combin"
 	"fedshap/internal/dataset"
 	"fedshap/internal/fl"
 	"fedshap/internal/model"
@@ -224,6 +225,22 @@ func WithSeed(seed int64) Option {
 	}
 }
 
+// WithTrainWorkers parallelises per-client local training inside each
+// FedAvg round across the given number of workers (client-level
+// parallelism). Training stays bit-identical at any worker count: client
+// updates are independent and are aggregated in fixed client order. This
+// speeds up a single coalition evaluation, so it composes with — and
+// trades off against — the coalition-level pool of ValueParallel; prefer
+// coalition-level workers when many coalitions are pending and client-level
+// workers when evaluating few coalitions over many clients. workers <= 1
+// trains serially (the default).
+func WithTrainWorkers(workers int) Option {
+	return func(f *Federation) error {
+		f.config.Workers = workers
+		return nil
+	}
+}
+
 // WithAccuracyUtility scores coalitions by test accuracy (the default).
 func WithAccuracyUtility() Option {
 	return func(f *Federation) error {
@@ -357,22 +374,40 @@ func (f *Federation) ExactValues(seed int64) (*Report, error) {
 	return f.Value(ExactShapley(), seed)
 }
 
-// ValueParallel is Value with concurrent coalition evaluation: when the
-// algorithm's evaluation set is known upfront (IPSS, K-Greedy and the exact
-// methods), those coalitions are trained on a bounded worker pool before
-// the sequential valuation pass. workers <= 0 selects GOMAXPROCS. Budget
-// accounting is unchanged; only wall-clock shrinks.
+// ValueParallel is Value with concurrent coalition evaluation: the
+// algorithm's deterministic evaluation plan — the full seeded sampling
+// sequence for the sampling algorithms (IPSS, Stratified, CC-Shapley,
+// Extended-GTB, MC-Banzhaf, Perm-MC, ...), the certain evaluation set
+// otherwise — is trained on a bounded worker pool before the sequential
+// valuation pass, which then reduces against a warm cache. Values are
+// bit-identical to Value, and the number of coalition evaluations is
+// unchanged; only wall-clock shrinks. workers <= 0 selects GOMAXPROCS;
+// workers == 1 degrades gracefully to the serial path.
 func (f *Federation) ValueParallel(alg Valuer, seed int64, workers int) (*Report, error) {
+	return f.ValueParallelCtx(context.Background(), alg, seed, workers)
+}
+
+// ValueParallelCtx is ValueParallel with cooperative cancellation: the
+// valuation context governs the evaluation pool too, so cancelling the run
+// stops concurrent coalition training before the next fresh evaluation,
+// not just the sequential pass.
+func (f *Federation) ValueParallelCtx(ctx context.Context, alg Valuer, seed int64, workers int) (*Report, error) {
 	spec := f.spec()
 	oracle := utility.NewFLOracle(*spec)
 	start := time.Now()
-	if pf, ok := alg.(shapley.Prefetchable); ok {
-		if err := oracle.Prefetch(context.Background(), pf.PrefetchPlan(f.N()), workers); err != nil {
+	if plan, ok := shapley.PlanFor(alg, f.N(), seed); ok && len(plan) > 0 {
+		if err := oracle.Prefetch(ctx, plan, workers); err != nil {
 			return nil, fmt.Errorf("fedshap: %s: %w", alg.Name(), err)
 		}
 	}
-	ctx := shapley.NewContext(oracle, seed).WithSpec(spec)
-	values, err := alg.Values(ctx)
+	// The sequential pass runs in a fresh budget scope over the warm
+	// cache: budget-gated samplers meter the coalitions this run requests
+	// (warm or not), exactly as against a cold oracle, so their sampling
+	// decisions — and hence the values — cannot be perturbed by the
+	// prefetch. Fresh-evaluation accounting stays on the oracle.
+	view := utility.NewRunView(oracle)
+	sctx := shapley.NewContext(view, seed).WithSpec(spec).WithContext(ctx)
+	values, err := shapley.Run(sctx, alg)
 	if err != nil {
 		return nil, fmt.Errorf("fedshap: %s: %w", alg.Name(), err)
 	}
@@ -391,6 +426,23 @@ func (f *Federation) Utility(coalition Coalition) float64 {
 	spec := f.spec()
 	oracle := utility.NewFLOracle(*spec)
 	return oracle.U(toCoalition(coalition))
+}
+
+// Utilities is the batch companion of Utility: it trains and evaluates the
+// given coalitions concurrently on a bounded worker pool (the same
+// evaluation pool ValueParallel uses) and returns their utilities aligned
+// with the input; duplicate coalitions are trained once. workers <= 0
+// selects GOMAXPROCS.
+func (f *Federation) Utilities(coalitions []Coalition, workers int) []float64 {
+	spec := f.spec()
+	oracle := utility.NewFLOracle(*spec)
+	in := make([]combin.Coalition, len(coalitions))
+	for i, c := range coalitions {
+		in[i] = toCoalition(c)
+	}
+	// A background context cannot be cancelled, so EvalBatch cannot fail.
+	out, _ := oracle.EvalBatch(context.Background(), in, workers)
+	return out
 }
 
 // RecommendedGamma returns the paper's sampling budget policy for this

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"math"
 	"time"
@@ -92,11 +93,41 @@ func RunWithOracle(p *Problem, oracle *utility.Oracle, alg shapley.Valuer, exact
 	return res
 }
 
+// RunAlgorithmParallel is RunAlgorithm with the algorithm's deterministic
+// evaluation plan (shapley.PlanFor) trained on a bounded worker pool before
+// the sequential pass, which then reduces against the warm cache. Values,
+// budget accounting and fresh-evaluation counts are identical to
+// RunAlgorithm; Seconds includes the concurrent prefetch. workers == 1
+// falls through to the serial path; workers <= 0 selects GOMAXPROCS.
+func RunAlgorithmParallel(ctx context.Context, p *Problem, alg shapley.Valuer, exact shapley.Values, seed int64, workers int) Result {
+	oracle := p.Oracle()
+	var prefetch float64
+	if workers != 1 {
+		if plan, ok := shapley.PlanFor(alg, p.N, seed); ok && len(plan) > 0 {
+			start := time.Now()
+			if err := oracle.Prefetch(ctx, plan, workers); err != nil {
+				return Result{Algorithm: alg.Name(), RunErr: err, Err: math.NaN()}
+			}
+			prefetch = time.Since(start).Seconds()
+		}
+	}
+	res := RunWithOracle(p, oracle, alg, exact, seed)
+	res.Seconds += prefetch
+	return res
+}
+
 // ExactValues computes the ground-truth MC-SV values on a fresh oracle and
 // returns them with the evaluation time (the "MC-Shapley" row of the
 // tables).
 func ExactValues(p *Problem, seed int64) (shapley.Values, Result) {
 	res := RunAlgorithm(p, shapley.ExactMC{}, nil, seed)
+	return res.Values, res
+}
+
+// ExactValuesParallel is ExactValues with the 2ⁿ coalition trainings spread
+// across a bounded worker pool.
+func ExactValuesParallel(ctx context.Context, p *Problem, seed int64, workers int) (shapley.Values, Result) {
+	res := RunAlgorithmParallel(ctx, p, shapley.ExactMC{}, nil, seed, workers)
 	return res.Values, res
 }
 

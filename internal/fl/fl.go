@@ -11,6 +11,7 @@ package fl
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"fedshap/internal/dataset"
 	"fedshap/internal/model"
@@ -61,6 +62,14 @@ type Config struct {
 	// WeightBySize aggregates client updates weighted by |D_i| (standard
 	// FedAvg); when false, clients with data are weighted equally.
 	WeightBySize bool
+	// Workers bounds concurrent per-client local training within one
+	// aggregation round; <= 1 trains clients serially. Client updates are
+	// independent (each trains from the round's global parameters with its
+	// own seeded RNG) and are reduced sequentially in client order after
+	// the round's trainings complete, so the trained model is bit-identical
+	// at any worker count. Workers is an execution knob, not part of the
+	// training problem: it never participates in problem fingerprints.
+	Workers int
 }
 
 // DefaultConfig is sized for laptop-scale valuation experiments, where the
@@ -126,22 +135,57 @@ func train(factory model.Factory, clients []*dataset.Dataset, cfg Config, wantTr
 func fedAvg(global model.Parametric, clients []*dataset.Dataset, cfg Config, wantTrace bool) (model.Model, *Trace) {
 	n := len(clients)
 	weights := aggregationWeights(clients, cfg.WeightBySize)
-	anyData := false
-	for _, w := range weights {
+	var participants []int
+	for i, w := range weights {
 		if w > 0 {
-			anyData = true
-			break
+			participants = append(participants, i)
 		}
 	}
 	var trace *Trace
 	if wantTrace {
 		trace = &Trace{Init: global.Params(), NumClients: n}
 	}
-	if !anyData {
+	if len(participants) == 0 {
 		return global, trace
 	}
 
+	workers := cfg.Workers
+	if workers > len(participants) {
+		workers = len(participants)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// One local model per pool slot, reused across clients and rounds:
+	// SetParams fully overwrites the trainable state, so reuse changes
+	// nothing numerically while dropping a Clone per client per round.
+	locals := make([]model.Parametric, workers)
+	for w := range locals {
+		locals[w] = global.Clone().(model.Parametric)
+	}
+
 	params := global.Params()
+	// trainClient runs client i's local update for one round against the
+	// round-start parameters (read-only here) and returns its delta.
+	// Per-client, per-round deterministic shuffling keeps every update
+	// independent of scheduling order.
+	trainClient := func(local model.Parametric, round, i int) tensor.Vector {
+		local.SetParams(params)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(round)*1009 + int64(i)*9176))
+		for e := 0; e < cfg.LocalEpochs; e++ {
+			local.TrainEpoch(clients[i], cfg.LR, rng)
+		}
+		delta := local.Params()
+		delta.AddScaled(-1, params) // delta = local - global
+		if cfg.Algorithm == FedProx && cfg.ProxMu > 0 {
+			// Proximal step: shrink the local deviation toward the
+			// global model by the closed-form factor 1/(1+μ).
+			delta.Scale(1 / (1 + cfg.ProxMu))
+		}
+		return delta
+	}
+
+	deltas := make([]tensor.Vector, n)
 	for round := 0; round < cfg.Rounds; round++ {
 		var rt RoundTrace
 		if wantTrace {
@@ -151,29 +195,40 @@ func fedAvg(global model.Parametric, clients []*dataset.Dataset, cfg Config, wan
 				Weights: append([]float64(nil), weights...),
 			}
 		}
+		// Per-slot delta collection: each participating client trains
+		// independently on a pool slot...
+		if workers > 1 {
+			var wg sync.WaitGroup
+			work := make(chan int)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(local model.Parametric) {
+					defer wg.Done()
+					for i := range work {
+						deltas[i] = trainClient(local, round, i)
+					}
+				}(locals[w])
+			}
+			for _, i := range participants {
+				work <- i
+			}
+			close(work)
+			wg.Wait()
+		} else {
+			for _, i := range participants {
+				deltas[i] = trainClient(locals[0], round, i)
+			}
+		}
+		// ...and the reduction is sequential in fixed client order, so the
+		// floating-point aggregation sequence — and hence the trained
+		// model — is bit-identical to serial execution.
 		agg := tensor.NewVector(len(params))
-		for i, ds := range clients {
-			if weights[i] == 0 {
-				continue
-			}
-			local := global.Clone().(model.Parametric)
-			local.SetParams(params)
-			// Per-client, per-round deterministic shuffling.
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(round)*1009 + int64(i)*9176))
-			for e := 0; e < cfg.LocalEpochs; e++ {
-				local.TrainEpoch(ds, cfg.LR, rng)
-			}
-			delta := local.Params()
-			delta.AddScaled(-1, params) // delta = local - global
-			if cfg.Algorithm == FedProx && cfg.ProxMu > 0 {
-				// Proximal step: shrink the local deviation toward the
-				// global model by the closed-form factor 1/(1+μ).
-				delta.Scale(1 / (1 + cfg.ProxMu))
-			}
-			agg.AddScaled(weights[i], delta)
+		for _, i := range participants {
+			agg.AddScaled(weights[i], deltas[i])
 			if wantTrace {
-				rt.Updates[i] = delta
+				rt.Updates[i] = deltas[i]
 			}
+			deltas[i] = nil
 		}
 		params.AddScaled(1, agg)
 		if wantTrace {

@@ -1,0 +1,95 @@
+package fl
+
+import (
+	"runtime"
+	"testing"
+
+	"fedshap/internal/dataset"
+	"fedshap/internal/model"
+	"fedshap/internal/tensor"
+)
+
+// paramsOf trains with the given worker count and returns the final flat
+// parameter vector.
+func paramsOf(t *testing.T, factory model.Factory, clients []*dataset.Dataset, cfg Config, workers int) tensor.Vector {
+	t.Helper()
+	cfg.Workers = workers
+	m := Train(factory, clients, cfg)
+	return m.(model.Parametric).Params()
+}
+
+// TestFedAvgParallelBitIdentical is the client-level determinism contract:
+// the trained model must be bit-identical at any worker count, for plain
+// FedAvg and FedProx, with and without free-riding (empty) clients.
+func TestFedAvgParallelBitIdentical(t *testing.T) {
+	clients, _ := femClients(5, 40, 3)
+	clients = append(clients, clients[0].Empty("free-rider"))
+	factories := map[string]model.Factory{
+		"mlp":     mlpFactory(clients[0].Dim(), 4),
+		"deepmlp": func(seed int64) model.Model { return model.NewDeepMLP([]int{clients[0].Dim(), 6, 5, 4}, seed) },
+		"logreg":  func(seed int64) model.Model { return model.NewLogReg(clients[0].Dim(), 4, seed) },
+		"cnn": func(seed int64) model.Model {
+			return model.NewCNN(clients[0].ImageW, clients[0].ImageH, 3, 4, seed)
+		},
+	}
+	configs := map[string]Config{
+		"fedavg":  {Rounds: 3, LocalEpochs: 2, LR: 0.05, Seed: 11, WeightBySize: true},
+		"fedprox": {Algorithm: FedProx, ProxMu: 0.5, Rounds: 3, LocalEpochs: 1, LR: 0.05, Seed: 11},
+	}
+	for fname, factory := range factories {
+		for cname, cfg := range configs {
+			serial := paramsOf(t, factory, clients, cfg, 1)
+			for _, workers := range []int{2, 4, runtime.NumCPU(), 64} {
+				got := paramsOf(t, factory, clients, cfg, workers)
+				for j := range serial {
+					if got[j] != serial[j] {
+						t.Fatalf("%s/%s workers=%d: param[%d] = %v, want %v (bit-exact)",
+							fname, cname, workers, j, got[j], serial[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFedAvgParallelTraceIdentical checks that the recorded trace — which
+// the gradient-based baselines reconstruct coalition models from — is also
+// bit-identical under client-level parallelism.
+func TestFedAvgParallelTraceIdentical(t *testing.T) {
+	clients, _ := femClients(4, 30, 5)
+	factory := mlpFactory(clients[0].Dim(), 4)
+	cfg := Config{Rounds: 2, LocalEpochs: 1, LR: 0.05, Seed: 9, WeightBySize: true}
+	_, serial := TrainWithTrace(factory, clients, cfg)
+	cfg.Workers = 4
+	_, par := TrainWithTrace(factory, clients, cfg)
+	if len(par.Rounds) != len(serial.Rounds) {
+		t.Fatalf("rounds = %d, want %d", len(par.Rounds), len(serial.Rounds))
+	}
+	for r := range serial.Rounds {
+		for i := range serial.Rounds[r].Updates {
+			su, pu := serial.Rounds[r].Updates[i], par.Rounds[r].Updates[i]
+			if len(su) != len(pu) {
+				t.Fatalf("round %d client %d: update length %d vs %d", r, i, len(pu), len(su))
+			}
+			for j := range su {
+				if su[j] != pu[j] {
+					t.Fatalf("round %d client %d: update[%d] = %v, want %v", r, i, j, pu[j], su[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFedAvgWorkersClamped checks degenerate worker counts: zero, negative
+// and more-than-participants all train correctly.
+func TestFedAvgWorkersClamped(t *testing.T) {
+	clients, test := femClients(3, 40, 7)
+	factory := mlpFactory(clients[0].Dim(), 4)
+	for _, workers := range []int{-3, 0, 1, 100} {
+		cfg := Config{Rounds: 3, LocalEpochs: 1, LR: 0.05, Seed: 7, WeightBySize: true, Workers: workers}
+		m := Train(factory, clients, cfg)
+		if acc := model.Accuracy(m, test); acc < 0.6 {
+			t.Errorf("workers=%d: accuracy %v, want > 0.6", workers, acc)
+		}
+	}
+}

@@ -34,6 +34,7 @@ type CNN struct {
 	poolArg []int         // argmax index into conv for each pooled cell
 	logits  tensor.Vector
 	dPool   tensor.Vector
+	perm    []int
 }
 
 const cnnKernel = 3
@@ -125,6 +126,11 @@ func (m *CNN) Score(x tensor.Vector) tensor.Vector {
 	return m.forward(x).Clone()
 }
 
+// PredictClass implements Classifier without the per-sample copy Score pays.
+func (m *CNN) PredictClass(x tensor.Vector) int {
+	return m.forward(x).ArgMax()
+}
+
 // Clone returns a deep copy.
 func (m *CNN) Clone() Model {
 	c := NewCNN(m.ImgW, m.ImgH, m.Filters, m.Classes, 0)
@@ -164,7 +170,8 @@ func (m *CNN) SetParams(p tensor.Vector) {
 
 // TrainEpoch runs one epoch of per-sample SGD backprop.
 func (m *CNN) TrainEpoch(ds *dataset.Dataset, lr float64, rng *rand.Rand) {
-	for _, i := range rng.Perm(ds.Len()) {
+	m.perm = permInto(rng, ds.Len(), m.perm)
+	for _, i := range m.perm {
 		x := ds.X.Row(i)
 		probs := m.forward(x)
 		y := ds.Y[i]

@@ -22,6 +22,7 @@ type DeepMLP struct {
 	// scratch activations and gradients per layer
 	acts  []tensor.Vector // acts[l] = output of layer l (post-ReLU / softmax)
 	grads []tensor.Vector
+	perm  []int
 }
 
 // NewDeepMLP constructs a perceptron with the given layer widths
@@ -75,6 +76,11 @@ func (m *DeepMLP) Score(x tensor.Vector) tensor.Vector {
 	return m.forward(x).Clone()
 }
 
+// PredictClass implements Classifier without the per-sample copy Score pays.
+func (m *DeepMLP) PredictClass(x tensor.Vector) int {
+	return m.forward(x).ArgMax()
+}
+
 // Clone returns a deep copy.
 func (m *DeepMLP) Clone() Model {
 	c := NewDeepMLP(m.Dims, 0)
@@ -119,7 +125,8 @@ func (m *DeepMLP) SetParams(p tensor.Vector) {
 // TrainEpoch runs one epoch of per-sample SGD backprop through all layers.
 func (m *DeepMLP) TrainEpoch(ds *dataset.Dataset, lr float64, rng *rand.Rand) {
 	last := m.layers() - 1
-	for _, i := range rng.Perm(ds.Len()) {
+	m.perm = permInto(rng, ds.Len(), m.perm)
+	for _, i := range m.perm {
 		x := ds.X.Row(i)
 		probs := m.forward(x)
 		y := ds.Y[i]

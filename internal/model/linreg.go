@@ -13,6 +13,8 @@ import (
 type LinReg struct {
 	W tensor.Vector
 	B float64
+
+	perm []int // shuffle scratch reused across epochs
 }
 
 // NewLinReg returns a zero-initialised linear regressor over dim features.
@@ -54,8 +56,8 @@ func (m *LinReg) SetParams(p tensor.Vector) {
 // TrainEpoch runs one epoch of per-sample SGD on squared loss, interpreting
 // dataset labels as real targets.
 func (m *LinReg) TrainEpoch(ds *dataset.Dataset, lr float64, rng *rand.Rand) {
-	n := ds.Len()
-	for _, i := range rng.Perm(n) {
+	m.perm = permInto(rng, ds.Len(), m.perm)
+	for _, i := range m.perm {
 		x := ds.X.Row(i)
 		err := m.W.Dot(x) + m.B - float64(ds.Y[i])
 		g := tensor.Clip(err, 1e6)
@@ -66,7 +68,8 @@ func (m *LinReg) TrainEpoch(ds *dataset.Dataset, lr float64, rng *rand.Rand) {
 
 // TrainEpochFloat is TrainEpoch against real-valued targets.
 func (m *LinReg) TrainEpochFloat(X *tensor.Matrix, y []float64, lr float64, rng *rand.Rand) {
-	for _, i := range rng.Perm(X.Rows) {
+	m.perm = permInto(rng, X.Rows, m.perm)
+	for _, i := range m.perm {
 		x := X.Row(i)
 		err := m.W.Dot(x) + m.B - y[i]
 		g := tensor.Clip(err, 1e6)

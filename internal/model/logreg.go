@@ -17,6 +17,7 @@ type LogReg struct {
 	Dim     int
 
 	scratch tensor.Vector
+	perm    []int
 }
 
 // NewLogReg returns a softmax regressor with Xavier-initialised weights.
@@ -40,6 +41,21 @@ func (m *LogReg) Score(x tensor.Vector) tensor.Vector {
 		logits[c] += m.B[c]
 	}
 	return tensor.Softmax(logits, logits)
+}
+
+// PredictClass implements Classifier without the per-sample vector Score
+// allocates; the softmax is kept so the argmax is computed on exactly the
+// probabilities Score would return. The scratch guard covers instances
+// built outside the constructors (e.g. decoded off the wire).
+func (m *LogReg) PredictClass(x tensor.Vector) int {
+	if len(m.scratch) != m.Classes {
+		m.scratch = tensor.NewVector(m.Classes)
+	}
+	logits := m.W.MulVec(x, m.scratch)
+	for c := range logits {
+		logits[c] += m.B[c]
+	}
+	return tensor.Softmax(logits, logits).ArgMax()
 }
 
 // Clone returns a deep copy.
@@ -73,7 +89,8 @@ func (m *LogReg) SetParams(p tensor.Vector) {
 
 // TrainEpoch runs one epoch of per-sample SGD on softmax cross-entropy.
 func (m *LogReg) TrainEpoch(ds *dataset.Dataset, lr float64, rng *rand.Rand) {
-	for _, i := range rng.Perm(ds.Len()) {
+	m.perm = permInto(rng, ds.Len(), m.perm)
+	for _, i := range m.perm {
 		x := ds.X.Row(i)
 		probs := m.W.MulVec(x, m.scratch)
 		for c := range probs {

@@ -19,8 +19,9 @@ type MLP struct {
 	Hidden int
 	Out    int
 
-	// scratch buffers reused across samples (not part of model state)
+	// scratch buffers reused across samples and epochs (not model state)
 	h, dh, logits tensor.Vector
+	perm          []int
 }
 
 // NewMLP constructs an MLP with Xavier-initialised weights.
@@ -58,6 +59,11 @@ func (m *MLP) forward(x tensor.Vector) tensor.Vector {
 // Score returns class probabilities for x.
 func (m *MLP) Score(x tensor.Vector) tensor.Vector {
 	return m.forward(x).Clone()
+}
+
+// PredictClass implements Classifier without the per-sample copy Score pays.
+func (m *MLP) PredictClass(x tensor.Vector) int {
+	return m.forward(x).ArgMax()
 }
 
 // Clone returns a deep copy.
@@ -101,7 +107,8 @@ func (m *MLP) SetParams(p tensor.Vector) {
 
 // TrainEpoch runs one epoch of per-sample SGD backprop on cross-entropy.
 func (m *MLP) TrainEpoch(ds *dataset.Dataset, lr float64, rng *rand.Rand) {
-	for _, i := range rng.Perm(ds.Len()) {
+	m.perm = permInto(rng, ds.Len(), m.perm)
+	for _, i := range m.perm {
 		x := ds.X.Row(i)
 		probs := m.forward(x)
 		y := ds.Y[i]

@@ -60,6 +60,16 @@ type Fitter interface {
 // the seed.
 type Factory func(seed int64) Model
 
+// Classifier is the allocation-free scoring fast path: PredictClass returns
+// the argmax class for one sample without copying the score vector (Score
+// must clone because callers may retain its result). Every classifier in
+// this package implements it; Accuracy — the hot evaluation loop of the
+// utility oracle — uses it when available. Like the model's other scratch
+// state, PredictClass is not safe for concurrent use on one instance.
+type Classifier interface {
+	PredictClass(x tensor.Vector) int
+}
+
 // Accuracy returns the fraction of samples whose argmax score matches the
 // label — the paper's default utility function U(·). An empty test set
 // yields 0.
@@ -68,6 +78,14 @@ func Accuracy(m Model, ds *dataset.Dataset) float64 {
 		return 0
 	}
 	correct := 0
+	if c, ok := m.(Classifier); ok {
+		for i := 0; i < ds.Len(); i++ {
+			if c.PredictClass(ds.X.Row(i)) == ds.Y[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(ds.Len())
+	}
 	for i := 0; i < ds.Len(); i++ {
 		if m.Score(ds.X.Row(i)).ArgMax() == ds.Y[i] {
 			correct++

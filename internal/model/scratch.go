@@ -1,0 +1,25 @@
+package model
+
+import "math/rand"
+
+// permInto is rand.Rand.Perm into a reusable buffer: it consumes the RNG
+// identically (same Intn sequence, hence the same permutation for the same
+// seed), so swapping it into a training loop changes no trained parameter
+// bit — it only drops the per-epoch slice allocation. Kept in lockstep with
+// math/rand's Perm, whose output sequence is frozen by the Go 1
+// compatibility promise; TestPermIntoMatchesRandPerm guards the lockstep.
+func permInto(rng *rand.Rand, n int, buf []int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	// The i = 0 iteration is a useless self-swap, but math/rand keeps it
+	// for Go 1 stream compatibility — it consumes one Intn — so it must
+	// stay here too or every RNG draw after a shuffle would shift.
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+	return buf
+}

@@ -1,0 +1,70 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPermIntoMatchesRandPerm guards the lockstep between permInto and
+// math/rand's Perm: same seed, same permutation, same RNG consumption. If
+// this ever fails, every model's training order — and so every cached
+// utility — would silently change.
+func TestPermIntoMatchesRandPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 501} {
+		a := rand.New(rand.NewSource(int64(n) + 3))
+		b := rand.New(rand.NewSource(int64(n) + 3))
+		var buf []int
+		for rep := 0; rep < 3; rep++ {
+			want := a.Perm(n)
+			buf = permInto(b, n, buf)
+			if len(buf) != len(want) {
+				t.Fatalf("n=%d: len %d, want %d", n, len(buf), len(want))
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("n=%d rep=%d: perm[%d] = %d, want %d", n, rep, i, buf[i], want[i])
+				}
+			}
+		}
+		// The two RNGs must stay in the same stream position.
+		if a.Int63() != b.Int63() {
+			t.Fatalf("n=%d: RNG streams diverged after Perm", n)
+		}
+	}
+}
+
+// TestPredictClassMatchesScore checks the allocation-free fast path agrees
+// with the allocating Score on every classifier.
+func TestPredictClassMatchesScore(t *testing.T) {
+	ds := benchData(200, 16, 4, 9)
+	img := benchImageData(200, 6, 6, 4, 9)
+	xgb := NewXGB(4, DefaultXGBConfig(), 3)
+	xgb.Fit(benchData(100, 16, 4, 4))
+	cases := []struct {
+		name string
+		m    Model
+	}{
+		{"logreg", NewLogReg(16, 4, 2)},
+		{"mlp", NewMLP(16, 8, 4, 2)},
+		{"deepmlp", NewDeepMLP([]int{16, 8, 6, 4}, 2)},
+		{"cnn", NewCNN(6, 6, 3, 4, 2)},
+		{"xgb", xgb},
+	}
+	for _, tc := range cases {
+		c, ok := tc.m.(Classifier)
+		if !ok {
+			t.Fatalf("%s does not implement Classifier", tc.name)
+		}
+		data := ds
+		if tc.name == "cnn" {
+			data = img
+		}
+		for i := 0; i < data.Len(); i++ {
+			x := data.X.Row(i)
+			want := tc.m.Score(x).ArgMax()
+			if got := c.PredictClass(x); got != want {
+				t.Fatalf("%s sample %d: PredictClass = %d, Score argmax = %d", tc.name, i, got, want)
+			}
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package model
 
 import (
-	"math/rand"
 	"sort"
 
 	"fedshap/internal/dataset"
@@ -27,6 +26,8 @@ type XGB struct {
 	Seed     int64
 
 	trees [][]*regTree // [round][class]
+
+	logits tensor.Vector // PredictClass scratch, lazily allocated
 }
 
 // XGBConfig collects the boosting hyper-parameters.
@@ -63,6 +64,24 @@ func (m *XGB) Score(x tensor.Vector) tensor.Vector {
 	return tensor.Softmax(logits, logits)
 }
 
+// PredictClass implements Classifier: the same ensemble walk and softmax as
+// Score, into a reused buffer.
+func (m *XGB) PredictClass(x tensor.Vector) int {
+	if cap(m.logits) < m.Classes {
+		m.logits = tensor.NewVector(m.Classes)
+	}
+	logits := m.logits[:m.Classes]
+	for c := range logits {
+		logits[c] = 0
+	}
+	for _, round := range m.trees {
+		for c, t := range round {
+			logits[c] += m.LR * t.predict(x)
+		}
+	}
+	return tensor.Softmax(logits, logits).ArgMax()
+}
+
 // Clone returns a copy sharing the (immutable once fitted) trees.
 func (m *XGB) Clone() Model {
 	c := *m
@@ -70,6 +89,7 @@ func (m *XGB) Clone() Model {
 	for i, r := range m.trees {
 		c.trees[i] = append([]*regTree(nil), r...)
 	}
+	c.logits = nil // scratch must not be shared across instances
 	return &c
 }
 
@@ -89,7 +109,6 @@ func (m *XGB) Fit(ds *dataset.Dataset) {
 	if n == 0 {
 		return
 	}
-	rng := rand.New(rand.NewSource(m.Seed))
 	// Running logits F[i*classes+c].
 	F := tensor.NewVector(n * m.Classes)
 	probs := tensor.NewVector(m.Classes)
@@ -99,6 +118,7 @@ func (m *XGB) Fit(ds *dataset.Dataset) {
 	for i := range idx {
 		idx[i] = i
 	}
+	sc := &fitScratch{}
 
 	for round := 0; round < m.Rounds; round++ {
 		roundTrees := make([]*regTree, m.Classes)
@@ -117,7 +137,7 @@ func (m *XGB) Fit(ds *dataset.Dataset) {
 					h[i] = 1e-6
 				}
 			}
-			t := m.fitTree(ds, idx, g, h, rng)
+			t := m.fitTree(ds, idx, g, h, sc)
 			roundTrees[c] = t
 			// Update logits with the new tree.
 			for i := 0; i < n; i++ {
@@ -156,16 +176,36 @@ func (t *regTree) predict(x tensor.Vector) float64 {
 	}
 }
 
-// fitTree grows one tree greedily on gradient/hessian targets.
-func (m *XGB) fitTree(ds *dataset.Dataset, idx []int, g, h tensor.Vector, rng *rand.Rand) *regTree {
+// fitScratch holds the buffers one Fit reuses across every tree and node:
+// the per-tree working copy of the sample order, the split-scan sort buffer
+// and the stable-partition spill buffer. A Fit is single-threaded, so one
+// instance serves the whole recursion.
+type fitScratch struct {
+	order []int
+	vals  []splitVal
+	part  []int
+}
+
+// splitVal is one (feature value, gradient, hessian) triple of the sorted
+// split sweep.
+type splitVal struct{ v, g, h float64 }
+
+// fitTree grows one tree greedily on gradient/hessian targets. idx is
+// copied into the scratch order buffer first: grow partitions its segments
+// in place, and every tree must start the scan from the same (identity)
+// sample order for the gradient sums — and hence the fitted ensemble — to
+// be independent of buffer reuse.
+func (m *XGB) fitTree(ds *dataset.Dataset, idx []int, g, h tensor.Vector, sc *fitScratch) *regTree {
+	sc.order = append(sc.order[:0], idx...)
 	t := &regTree{}
-	m.grow(t, ds, idx, g, h, 0, rng)
+	m.grow(t, ds, sc.order, g, h, 0, sc)
 	return t
 }
 
-// grow recursively builds the subtree over the sample indices idx and
-// returns its node index within t.
-func (m *XGB) grow(t *regTree, ds *dataset.Dataset, idx []int, g, h tensor.Vector, depth int, rng *rand.Rand) int {
+// grow recursively builds the subtree over the sample-index segment idx
+// (owned by this call; child segments nest inside it) and returns its node
+// index within t.
+func (m *XGB) grow(t *regTree, ds *dataset.Dataset, idx []int, g, h tensor.Vector, depth int, sc *fitScratch) int {
 	var gSum, hSum float64
 	for _, i := range idx {
 		gSum += g[i]
@@ -181,39 +221,51 @@ func (m *XGB) grow(t *regTree, ds *dataset.Dataset, idx []int, g, h tensor.Vecto
 	if depth >= m.Depth || len(idx) < 2*m.MinChild {
 		return makeLeaf()
 	}
-	feat, thr, gain := m.bestSplit(ds, idx, g, h, gSum, hSum)
+	feat, thr, gain := m.bestSplit(ds, idx, g, h, gSum, hSum, sc)
 	if gain <= 1e-9 {
 		return makeLeaf()
 	}
-	var left, right []int
+	// Stable in-place partition into a left and a right segment: relative
+	// order is preserved in both halves (right spills through the scratch
+	// buffer), so the children accumulate their gradient sums in exactly
+	// the order the previous per-node slices did.
+	nl := 0
+	spill := sc.part[:0]
 	for _, i := range idx {
 		if ds.X.At(i, feat) < thr {
-			left = append(left, i)
+			idx[nl] = i
+			nl++
 		} else {
-			right = append(right, i)
+			spill = append(spill, i)
 		}
 	}
+	copy(idx[nl:], spill)
+	sc.part = spill[:0] // keep the grown capacity for the next node
+	left, right := idx[:nl], idx[nl:]
 	if len(left) < m.MinChild || len(right) < m.MinChild {
 		return makeLeaf()
 	}
 	// Reserve this node, then grow children (their indices come after).
 	self := len(t.nodes)
 	t.nodes = append(t.nodes, treeNode{feature: feat, threshold: thr})
-	l := m.grow(t, ds, left, g, h, depth+1, rng)
-	r := m.grow(t, ds, right, g, h, depth+1, rng)
+	l := m.grow(t, ds, left, g, h, depth+1, sc)
+	r := m.grow(t, ds, right, g, h, depth+1, sc)
 	t.nodes[self].left, t.nodes[self].right = l, r
 	return self
 }
 
 // bestSplit scans every feature with an exact sorted sweep and returns the
 // split maximising the XGBoost gain.
-func (m *XGB) bestSplit(ds *dataset.Dataset, idx []int, g, h tensor.Vector, gSum, hSum float64) (feature int, threshold, gain float64) {
+func (m *XGB) bestSplit(ds *dataset.Dataset, idx []int, g, h tensor.Vector, gSum, hSum float64, sc *fitScratch) (feature int, threshold, gain float64) {
 	feature = -1
 	parentScore := gSum * gSum / (hSum + m.Lambda)
-	vals := make([]struct{ v, g, h float64 }, len(idx))
+	if cap(sc.vals) < len(idx) {
+		sc.vals = make([]splitVal, len(idx))
+	}
+	vals := sc.vals[:len(idx)]
 	for f := 0; f < ds.Dim(); f++ {
 		for j, i := range idx {
-			vals[j] = struct{ v, g, h float64 }{ds.X.At(i, f), g[i], h[i]}
+			vals[j] = splitVal{ds.X.At(i, f), g[i], h[i]}
 		}
 		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
 		var gl, hl float64

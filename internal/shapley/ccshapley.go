@@ -2,6 +2,7 @@ package shapley
 
 import (
 	"fmt"
+	"math/rand"
 
 	"fedshap/internal/combin"
 )
@@ -24,11 +25,30 @@ func NewCCShapley(gamma int) *CCShapley { return &CCShapley{Gamma: gamma} }
 // Name implements Valuer.
 func (a *CCShapley) Name() string { return fmt.Sprintf("CC-Shapley(γ=%d)", a.Gamma) }
 
+// forEachDraw replays the sampler's draw sequence: each iteration draws a
+// size, a coalition of that size and its complement, and hands them to
+// visit, which evaluates (or, for planning, records) the pair and returns
+// the run's distinct-request count — the budget meter that drives the stop
+// condition exactly as Source.Evals does. evals seeds the meter (the
+// Source's count before the run; 0 for a fresh budget scope).
+func (a *CCShapley) forEachDraw(n, evals int, rng *rand.Rand, visit func(k int, s, comp combin.Coalition) int) {
+	full := combin.FullCoalition(n)
+	draws := 0
+	for evals < a.Gamma || draws == 0 {
+		k := 1 + rng.Intn(n) // coalition size 1..n
+		s := combin.RandomSubsetOfSize(n, k, rng)
+		evals = visit(k, s, full.Minus(s))
+		draws++
+		if draws >= 1<<20 || a.Gamma <= 0 {
+			break
+		}
+	}
+}
+
 // Values implements Valuer.
 func (a *CCShapley) Values(ctx *Context) (Values, error) {
 	o := ctx.Oracle
 	n := o.N()
-	full := combin.FullCoalition(n)
 
 	// sums[i][k] accumulates complementary contributions of client i at
 	// stratum k (coalition size containing i); counts track sample counts.
@@ -39,11 +59,7 @@ func (a *CCShapley) Values(ctx *Context) (Values, error) {
 		counts[i] = make([]int, n+1)
 	}
 
-	draws := 0
-	for o.Evals() < a.Gamma || draws == 0 {
-		k := 1 + ctx.RNG.Intn(n) // coalition size 1..n
-		s := combin.RandomSubsetOfSize(n, k, ctx.RNG)
-		comp := full.Minus(s)
+	a.forEachDraw(n, o.Evals(), ctx.RNG, func(k int, s, comp combin.Coalition) int {
 		us := o.U(s)
 		uc := o.U(comp)
 		cc := us - uc
@@ -58,11 +74,8 @@ func (a *CCShapley) Values(ctx *Context) (Values, error) {
 				counts[i][ck]++
 			}
 		}
-		draws++
-		if draws >= 1<<20 || a.Gamma <= 0 {
-			break
-		}
-	}
+		return o.Evals()
+	})
 
 	phi := make(Values, n)
 	for i := 0; i < n; i++ {

@@ -2,6 +2,7 @@ package shapley
 
 import (
 	"fmt"
+	"math/rand"
 
 	"fedshap/internal/combin"
 )
@@ -25,6 +26,38 @@ func NewGTB(gamma int) *GTB { return &GTB{Gamma: gamma} }
 // Name implements Valuer.
 func (a *GTB) Name() string { return fmt.Sprintf("Extended-GTB(γ=%d)", a.Gamma) }
 
+// forEachDraw replays the group-testing sampling loop: each iteration draws
+// a size from q(k) ∝ 1/(k(n−k)) and a coalition of that size, and hands it
+// to visit, which evaluates (or, for planning, records) it and returns the
+// run's distinct-request count — the budget meter driving the stop
+// condition exactly as Source.Evals does. evals seeds the meter (the
+// Source's count after U(N) and U(∅); 2 for a fresh budget scope).
+func (a *GTB) forEachDraw(n, evals int, rng *rand.Rand, visit func(s combin.Coalition) int) {
+	// Group-testing size distribution over k = 1..n-1.
+	qk := make([]float64, n) // qk[k], k=1..n-1
+	var z float64
+	for k := 1; k <= n-1; k++ {
+		qk[k] = 1.0 / float64(k*(n-k))
+		z += qk[k]
+	}
+	for k := 1; k <= n-1; k++ {
+		qk[k] /= z
+	}
+	draws := 0
+	for evals < a.Gamma || draws == 0 {
+		k := sampleSize(qk, rng)
+		s := combin.RandomSubsetOfSize(n, k, rng)
+		evals = visit(s)
+		draws++
+		if draws >= 1<<20 {
+			break
+		}
+		if a.Gamma <= 0 {
+			break
+		}
+	}
+}
+
 // Values implements Valuer.
 func (a *GTB) Values(ctx *Context) (Values, error) {
 	o := ctx.Oracle
@@ -36,16 +69,6 @@ func (a *GTB) Values(ctx *Context) (Values, error) {
 	uFull := o.U(combin.FullCoalition(n))
 	uEmpty := o.U(combin.Empty)
 
-	// Group-testing size distribution over k = 1..n-1.
-	qk := make([]float64, n) // qk[k], k=1..n-1
-	var z float64
-	for k := 1; k <= n-1; k++ {
-		qk[k] = 1.0 / float64(k*(n-k))
-		z += qk[k]
-	}
-	for k := 1; k <= n-1; k++ {
-		qk[k] /= z
-	}
 	zn := 2.0 * harmonic(n-1) // the Z constant of the estimator
 
 	// Sample until the budget is consumed.
@@ -54,17 +77,10 @@ func (a *GTB) Values(ctx *Context) (Values, error) {
 		u float64
 	}
 	var samples []obs
-	for o.Evals() < a.Gamma || len(samples) == 0 {
-		k := sampleSize(qk, ctx.RNG)
-		s := combin.RandomSubsetOfSize(n, k, ctx.RNG)
+	a.forEachDraw(n, o.Evals(), ctx.RNG, func(s combin.Coalition) int {
 		samples = append(samples, obs{s, o.U(s)})
-		if len(samples) >= 1<<20 {
-			break
-		}
-		if a.Gamma <= 0 {
-			break
-		}
-	}
+		return o.Evals()
+	})
 	t := float64(len(samples))
 
 	// Δ̂ᵢⱼ = (Z/T) Σ_t u_t (β_ti − β_tj).

@@ -2,6 +2,7 @@ package shapley
 
 import (
 	"fmt"
+	"math/rand"
 
 	"fedshap/internal/combin"
 )
@@ -53,41 +54,57 @@ func (a *IPSS) Name() string {
 	}
 }
 
-// Values implements Valuer, following Alg. 3.
-func (a *IPSS) Values(ctx *Context) (Values, error) {
-	o := ctx.Oracle
-	n := o.N()
+// samplePlan replays Alg. 3 lines 1-11 — the deterministic part of the
+// algorithm: the stratum boundary k*, the exhaustively evaluated strata of
+// size ≤ k* (in enumeration order) and the balanced sample P of size k*+1
+// drawn from rng. Both Values and SamplePlan consume it, so the parallel
+// evaluation plan, the evaluated set and the estimator's stratum boundary
+// cannot drift apart.
+func (a *IPSS) samplePlan(n int, rng *rand.Rand) (kstar int, strata, pset []combin.Coalition) {
 	gamma := a.Gamma
 	if gamma < 1 {
 		gamma = 1
 	}
 
 	// Line 1: k* = max{k | Σ_{j=0..k} C(n,j) <= γ}.
-	kstar := combin.MaxFullStratum(n, uint64(gamma))
+	kstar = combin.MaxFullStratum(n, uint64(gamma))
 	if kstar < 0 {
 		kstar = 0 // degenerate budget: still evaluate the empty coalition
 	}
 
-	// Lines 2-7: exhaustively evaluate all combinations of size <= k*.
-	u := make(map[combin.Coalition]float64)
+	// Lines 2-7: all combinations of size <= k*.
 	for size := 0; size <= kstar; size++ {
 		combin.SubsetsOfSize(n, size, func(s combin.Coalition) {
-			u[s] = o.U(s)
+			strata = append(strata, s)
 		})
 	}
 
 	// Lines 8-11: sample P at size k*+1 within the remaining budget, with
 	// equal per-client coverage (constraint (3)) unless ablated.
 	remaining := gamma - int(combin.CumulativeBinomial(n, kstar))
-	var pset []combin.Coalition
 	if kstar+1 <= n && remaining > 0 {
 		if a.UnbalancedP {
-			pset = combin.SampleStratumWithoutReplacement(n, kstar+1, remaining, ctx.RNG)
+			pset = combin.SampleStratumWithoutReplacement(n, kstar+1, remaining, rng)
 		} else {
-			pset = combin.BalancedStratumSample(n, kstar+1, remaining, ctx.RNG)
+			pset = combin.BalancedStratumSample(n, kstar+1, remaining, rng)
 		}
 	}
-	// Lines 12-14: evaluate the sampled combinations.
+	return kstar, strata, pset
+}
+
+// Values implements Valuer, following Alg. 3: plan the evaluation set, run
+// it through the oracle, then reduce.
+func (a *IPSS) Values(ctx *Context) (Values, error) {
+	o := ctx.Oracle
+	n := o.N()
+	kstar, strata, pset := a.samplePlan(n, ctx.RNG)
+
+	// Lines 2-7 and 12-14: evaluate the strata then the sampled
+	// combinations, in plan order.
+	u := make(map[combin.Coalition]float64, len(strata)+len(pset))
+	for _, s := range strata {
+		u[s] = o.U(s)
+	}
 	for _, s := range pset {
 		u[s] = o.U(s)
 	}

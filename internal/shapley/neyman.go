@@ -3,6 +3,7 @@ package shapley
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"fedshap/internal/combin"
 )
@@ -34,11 +35,12 @@ func (a *StratifiedNeyman) Name() string {
 	return fmt.Sprintf("Stratified-Neyman(γ=%d)", a.Gamma)
 }
 
-// Values implements Valuer.
-func (a *StratifiedNeyman) Values(ctx *Context) (Values, error) {
-	o := ctx.Oracle
-	n := o.N()
-	gamma := a.Gamma
+// sampleCounts resolves the effective budget and the per-phase sample
+// counts: each "sample" costs ~2 evaluations (S and its pair S\{i}).
+// Shared by Values and SamplePlan so the two cannot disagree on either
+// clamp.
+func (a *StratifiedNeyman) sampleCounts(n int) (gamma, totalSamples, pilot int) {
+	gamma = a.Gamma
 	if gamma < 2 {
 		gamma = 2
 	}
@@ -46,14 +48,28 @@ func (a *StratifiedNeyman) Values(ctx *Context) (Values, error) {
 	if pilotFrac <= 0 || pilotFrac >= 1 {
 		pilotFrac = 0.3
 	}
-
-	// Each "sample" costs ~2 evaluations (S and its pair S\{i}); budget in
-	// samples per phase.
-	totalSamples := gamma / 2
-	pilot := int(float64(totalSamples) * pilotFrac)
+	totalSamples = gamma / 2
+	pilot = int(float64(totalSamples) * pilotFrac)
 	if pilot < n {
 		pilot = min(totalSamples, n) // at least one pilot sample per stratum
 	}
+	return gamma, totalSamples, pilot
+}
+
+// neymanDraw makes one stratum-k draw: a random coalition and a random
+// member whose marginal it will probe. Shared by Values and SamplePlan so
+// the replayed plan consumes rng identically.
+func neymanDraw(n, k int, rng *rand.Rand) (combin.Coalition, int) {
+	s := combin.RandomSubsetOfSize(n, k, rng)
+	members := s.Members()
+	return s, members[rng.Intn(len(members))]
+}
+
+// Values implements Valuer.
+func (a *StratifiedNeyman) Values(ctx *Context) (Values, error) {
+	o := ctx.Oracle
+	n := o.N()
+	gamma, totalSamples, pilot := a.sampleCounts(n)
 
 	// Per-stratum accumulators of marginal contributions for each client.
 	type accum struct {
@@ -67,9 +83,7 @@ func (a *StratifiedNeyman) Values(ctx *Context) (Values, error) {
 	// draw samples one marginal at a time: pick stratum k, sample S of
 	// size k, pick i ∈ S, evaluate U(S) − U(S\{i}).
 	drawInto := func(k int) {
-		s := combin.RandomSubsetOfSize(n, k, ctx.RNG)
-		members := s.Members()
-		i := members[ctx.RNG.Intn(len(members))]
+		s, i := neymanDraw(n, k, ctx.RNG)
 		d := o.U(s) - o.U(s.Without(i))
 		acc := &strata[k][i]
 		acc.sum += d

@@ -1,6 +1,38 @@
 package shapley
 
-import "fedshap/internal/combin"
+import (
+	"math/rand"
+
+	"fedshap/internal/combin"
+)
+
+// Evaluation planning: every sampler in this package draws its coalitions
+// deterministically from its seed, so the sequence of oracle requests a run
+// will make can be replayed *without* training anything. The replayed plan
+// streams through a bounded evaluation pool (utility.Oracle.Prefetch /
+// EvalBatch) and the unchanged sequential pass then reduces against a warm
+// cache — bit-identical values, identical budget accounting, wall-clock
+// divided by the worker count.
+//
+// Two levels of plannability exist:
+//
+//   - Prefetchable algorithms have a seed-free deterministic evaluation set
+//     (the exact schemes, K-Greedy, leave-one-out, IPSS's certain strata).
+//   - Planner algorithms additionally replay their seeded sampling, so the
+//     full evaluation sequence — not just the certain part — is known
+//     upfront. Control flow may depend on the running count of *distinct*
+//     coalitions requested (the budget meter γ), which the replay simulates;
+//     it may not depend on utility values. TMC (truncation compares
+//     utilities) and Stratified-Neyman (phase-two allocation uses observed
+//     variances) therefore return only the certain prefix of their sequence;
+//     the sequential pass evaluates the utility-dependent remainder lazily.
+//
+// The simulated budget meter matches utility.RunView (and a fresh Oracle)
+// exactly: each distinct coalition requested by the run counts once,
+// whether the shared cache underneath is warm or cold. Plans are therefore
+// computed for a fresh budget scope; running an algorithm against an
+// already-charged raw Source remains supported but is not what plans
+// describe.
 
 // Prefetchable is implemented by algorithms whose evaluation set is (partly)
 // known before sampling begins; the deterministic part can then be evaluated
@@ -12,9 +44,60 @@ type Prefetchable interface {
 	PrefetchPlan(n int) []combin.Coalition
 }
 
+// Planner is implemented by samplers that can replay their seeded draw
+// sequence. SamplePlan returns, in first-request order, the distinct
+// coalitions a run with the given seed will ask the oracle for — the full
+// sequence when control flow is utility-independent, or a certain prefix
+// when later draws depend on observed utilities. The seed must be the one
+// the run's Context was built with (shapley.NewContext(o, seed)).
+type Planner interface {
+	SamplePlan(n int, seed int64) []combin.Coalition
+}
+
+// PlanFor returns the deterministic evaluation plan of alg for a federation
+// of n clients and a run seeded with seed, preferring the full seeded replay
+// (Planner) over the certain-set fallback (Prefetchable). ok is false when
+// the algorithm exposes no plan at all (the gradient-based baselines, whose
+// cost is one traced training run, not oracle calls).
+func PlanFor(alg Valuer, n int, seed int64) (plan []combin.Coalition, ok bool) {
+	switch p := alg.(type) {
+	case Planner:
+		return p.SamplePlan(n, seed), true
+	case Prefetchable:
+		return p.PrefetchPlan(n), true
+	}
+	return nil, false
+}
+
+// planRNG builds the RNG a run's Context starts from (see NewContext), so a
+// replay consumes the exact same stream.
+func planRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// planRecorder simulates a fresh budget scope: it records every requested
+// coalition once, in first-request order, and reports the distinct count —
+// the same meter a budget-gated sampler reads via Source.Evals against a
+// fresh oracle or a utility.RunView.
+type planRecorder struct {
+	seen map[combin.Coalition]struct{}
+	plan []combin.Coalition
+}
+
+func newPlanRecorder() *planRecorder {
+	return &planRecorder{seen: make(map[combin.Coalition]struct{})}
+}
+
+// visit records one oracle request and returns the distinct-request count.
+func (r *planRecorder) visit(s combin.Coalition) int {
+	if _, ok := r.seen[s]; !ok {
+		r.seen[s] = struct{}{}
+		r.plan = append(r.plan, s)
+	}
+	return len(r.plan)
+}
+
 // PrefetchPlan returns the exhaustively evaluated strata of Alg. 3: every
-// coalition of size ≤ k*. The sampled stratum P is RNG-dependent and not
-// included.
+// coalition of size ≤ k*. The sampled stratum P is RNG-dependent; SamplePlan
+// replays it too.
 func (a *IPSS) PrefetchPlan(n int) []combin.Coalition {
 	kstar := a.KStar(n)
 	if kstar < 0 {
@@ -25,6 +108,20 @@ func (a *IPSS) PrefetchPlan(n int) []combin.Coalition {
 		combin.SubsetsOfSize(n, size, func(s combin.Coalition) { out = append(out, s) })
 	}
 	return out
+}
+
+// SamplePlan implements Planner: the certain strata plus the replayed
+// balanced sample of the k*+1 stratum — IPSS's complete evaluation set.
+func (a *IPSS) SamplePlan(n int, seed int64) []combin.Coalition {
+	_, strata, pset := a.samplePlan(n, planRNG(seed))
+	rec := newPlanRecorder()
+	for _, s := range strata {
+		rec.visit(s)
+	}
+	for _, s := range pset {
+		rec.visit(s)
+	}
+	return rec.plan
 }
 
 // PrefetchPlan returns every coalition of size ≤ K (Alg. 2 evaluates all of
@@ -64,4 +161,120 @@ func (ExactPerm) PrefetchPlan(n int) []combin.Coalition {
 // PrefetchPlan returns all 2ⁿ coalitions (Banzhaf enumerates them too).
 func (ExactBanzhaf) PrefetchPlan(n int) []combin.Coalition {
 	return ExactMC{}.PrefetchPlan(n)
+}
+
+// PrefetchPlan returns the grand coalition and every leave-one-out
+// coalition, in evaluation order.
+func (LeaveOneOut) PrefetchPlan(n int) []combin.Coalition {
+	full := combin.FullCoalition(n)
+	out := make([]combin.Coalition, 0, n+1)
+	out = append(out, full)
+	for i := 0; i < n; i++ {
+		out = append(out, full.Without(i))
+	}
+	return out
+}
+
+// SamplePlan implements Planner by replaying Alg. 1's stratum sampling and
+// the pairing pass — Stratified's complete evaluation set.
+func (a *Stratified) SamplePlan(n int, seed int64) []combin.Coalition {
+	strata := a.draw(n, planRNG(seed))
+	sampled := sampledSet(strata)
+	rec := newPlanRecorder()
+	for k := 1; k <= n; k++ {
+		for _, s := range strata[k] {
+			rec.visit(s)
+		}
+	}
+	rec.visit(combin.Empty)
+	a.forEachPair(n, strata, sampled, func(i, k int, s, pair combin.Coalition) {
+		rec.visit(s)
+		rec.visit(pair)
+	})
+	return rec.plan
+}
+
+// SamplePlan implements Planner: the uniform pilot phase is replayed in
+// full; the Neyman-allocated second phase depends on observed variances and
+// is left to the sequential pass.
+func (a *StratifiedNeyman) SamplePlan(n int, seed int64) []combin.Coalition {
+	_, _, pilot := a.sampleCounts(n)
+	rng := planRNG(seed)
+	rec := newPlanRecorder()
+	for t := 0; t < pilot; t++ {
+		k := 1 + t%n
+		s, i := neymanDraw(n, k, rng)
+		rec.visit(s)
+		rec.visit(s.Without(i))
+	}
+	return rec.plan
+}
+
+// SamplePlan implements Planner: U(N), U(∅) and the first prefix of the
+// first permutation are certain; everything after depends on the truncation
+// comparisons against observed utilities and is left to the sequential pass.
+func (a *TMC) SamplePlan(n int, seed int64) []combin.Coalition {
+	rec := newPlanRecorder()
+	rec.visit(combin.FullCoalition(n))
+	evals := rec.visit(combin.Empty)
+	if a.Gamma > 0 && evals >= a.Gamma {
+		return rec.plan // budget exhausted before any permutation
+	}
+	perm := combin.RandomPermutation(n, planRNG(seed))
+	rec.visit(combin.NewCoalition(perm[0]))
+	return rec.plan
+}
+
+// SamplePlan implements Planner by replaying the draw loop — CC-Shapley's
+// complete evaluation set.
+func (a *CCShapley) SamplePlan(n int, seed int64) []combin.Coalition {
+	rec := newPlanRecorder()
+	a.forEachDraw(n, 0, planRNG(seed), func(k int, s, comp combin.Coalition) int {
+		rec.visit(s)
+		return rec.visit(comp)
+	})
+	return rec.plan
+}
+
+// SamplePlan implements Planner by replaying the group-testing draw loop —
+// Extended-GTB's complete evaluation set.
+func (a *GTB) SamplePlan(n int, seed int64) []combin.Coalition {
+	rec := newPlanRecorder()
+	rec.visit(combin.FullCoalition(n))
+	evals := rec.visit(combin.Empty)
+	if n == 1 {
+		return rec.plan
+	}
+	a.forEachDraw(n, evals, planRNG(seed), func(s combin.Coalition) int {
+		return rec.visit(s)
+	})
+	return rec.plan
+}
+
+// SamplePlan implements Planner by replaying the Monte-Carlo toggle draws —
+// MC-Banzhaf's complete evaluation set.
+func (a *MCBanzhaf) SamplePlan(n int, seed int64) []combin.Coalition {
+	rec := newPlanRecorder()
+	a.forEachDraw(n, 0, planRNG(seed), func(i int, with, without combin.Coalition) int {
+		rec.visit(with)
+		return rec.visit(without)
+	})
+	return rec.plan
+}
+
+// SamplePlan implements Planner by replaying the permutation walks —
+// Perm-MC's complete evaluation set.
+func (a *PermSampling) SamplePlan(n int, seed int64) []combin.Coalition {
+	rec := newPlanRecorder()
+	evals := rec.visit(combin.Empty)
+	a.forEachPerm(n, evals, planRNG(seed), func(perm []int) int {
+		var s combin.Coalition
+		last := 0
+		for _, i := range perm {
+			s = s.With(i)
+			last = rec.visit(s)
+		}
+		return last
+	})
+	return rec.plan
 }

@@ -2,6 +2,7 @@ package shapley
 
 import (
 	"fmt"
+	"math/rand"
 
 	"fedshap/internal/combin"
 )
@@ -51,6 +52,26 @@ func NewPermSampling(gamma int) *PermSampling { return &PermSampling{Gamma: gamm
 // Name implements Valuer.
 func (a *PermSampling) Name() string { return fmt.Sprintf("Perm-MC(γ=%d)", a.Gamma) }
 
+// forEachPerm replays the permutation draws: each iteration draws one
+// client ordering and hands it to visit, which walks it evaluating (or, for
+// planning, recording) every prefix and returns the run's distinct-request
+// count — the budget meter driving the stop condition exactly as
+// Source.Evals does. evals seeds the meter (the Source's count after U(∅);
+// 1 for a fresh budget scope).
+func (a *PermSampling) forEachPerm(n, evals int, rng *rand.Rand, visit func(perm []int) int) {
+	perms := 0
+	for (a.Gamma <= 0 || evals < a.Gamma) || perms == 0 {
+		if a.MaxPermutations > 0 && perms >= a.MaxPermutations {
+			break
+		}
+		evals = visit(combin.RandomPermutation(n, rng))
+		perms++
+		if perms >= 1<<20 || a.Gamma <= 0 {
+			break
+		}
+	}
+}
+
 // Values implements Valuer.
 func (a *PermSampling) Values(ctx *Context) (Values, error) {
 	o := ctx.Oracle
@@ -58,11 +79,7 @@ func (a *PermSampling) Values(ctx *Context) (Values, error) {
 	uEmpty := o.U(combin.Empty)
 	sums := make(Values, n)
 	perms := 0
-	for (a.Gamma <= 0 || o.Evals() < a.Gamma) || perms == 0 {
-		if a.MaxPermutations > 0 && perms >= a.MaxPermutations {
-			break
-		}
-		perm := combin.RandomPermutation(n, ctx.RNG)
+	a.forEachPerm(n, o.Evals(), ctx.RNG, func(perm []int) int {
 		var s combin.Coalition
 		prev := uEmpty
 		for _, i := range perm {
@@ -72,10 +89,8 @@ func (a *PermSampling) Values(ctx *Context) (Values, error) {
 			prev = cur
 		}
 		perms++
-		if perms >= 1<<20 || a.Gamma <= 0 {
-			break
-		}
-	}
+		return o.Evals()
+	})
 	if perms > 0 {
 		inv := 1.0 / float64(perms)
 		for i := range sums {

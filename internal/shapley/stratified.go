@@ -2,6 +2,7 @@ package shapley
 
 import (
 	"fmt"
+	"math/rand"
 
 	"fedshap/internal/combin"
 )
@@ -88,38 +89,42 @@ func (a *Stratified) rounds(n int) []int {
 	return m
 }
 
-// Values implements Valuer, following Alg. 1 line by line.
-func (a *Stratified) Values(ctx *Context) (Values, error) {
-	o := ctx.Oracle
-	n := o.N()
+// draw replays Alg. 1's per-stratum sampling (lines 1-8), consuming rng
+// exactly as the valuation pass does; strata[k] holds the sampled
+// coalitions of size k. Both Values and SamplePlan consume it.
+func (a *Stratified) draw(n int, rng *rand.Rand) [][]combin.Coalition {
 	m := a.rounds(n)
-
-	// Lines 1-8: sample each stratum and evaluate sampled coalitions.
-	sampled := make(map[combin.Coalition]bool)
-	sampled[combin.Empty] = true // U(M_∅) anchors size-1 marginals (Example 2)
 	strata := make([][]combin.Coalition, n+1)
 	for k := 1; k <= n; k++ {
 		mk := m[k-1]
 		if mk <= 0 {
 			continue
 		}
-		s := combin.SampleStratumWithoutReplacement(n, k, mk, ctx.RNG)
-		strata[k] = s
-		for _, c := range s {
+		strata[k] = combin.SampleStratumWithoutReplacement(n, k, mk, rng)
+	}
+	return strata
+}
+
+// sampledSet indexes the drawn coalitions — plus ∅, whose utility anchors
+// size-1 marginals (Example 2) — for the pairing test of lines 9-17.
+func sampledSet(strata [][]combin.Coalition) map[combin.Coalition]bool {
+	sampled := map[combin.Coalition]bool{combin.Empty: true}
+	for _, ss := range strata {
+		for _, c := range ss {
 			sampled[c] = true
-			o.U(c)
 		}
 	}
-	o.U(combin.Empty)
+	return sampled
+}
 
-	// Lines 9-17: pair sampled combinations per scheme and average.
+// forEachPair invokes fn for every (S, pair) term the reduce pass of
+// lines 9-17 evaluates, in evaluation order (client-major, then stratum,
+// then sample). Terms whose pair was not sampled are skipped unless
+// ForcePairs evaluates them anyway.
+func (a *Stratified) forEachPair(n int, strata [][]combin.Coalition, sampled map[combin.Coalition]bool, fn func(i, k int, s, pair combin.Coalition)) {
 	full := combin.FullCoalition(n)
-	phi := make(Values, n)
 	for i := 0; i < n; i++ {
-		var total float64
 		for k := 1; k <= n; k++ {
-			var sum float64
-			var cnt int
 			for _, s := range strata[k] {
 				if !s.Has(i) {
 					continue
@@ -134,11 +139,44 @@ func (a *Stratified) Values(ctx *Context) (Values, error) {
 				if !sampled[pair] && !a.ForcePairs {
 					continue
 				}
-				sum += o.U(s) - o.U(pair)
-				cnt++
+				fn(i, k, s, pair)
 			}
-			if cnt > 0 {
-				total += sum / float64(cnt)
+		}
+	}
+}
+
+// Values implements Valuer, following Alg. 1 line by line.
+func (a *Stratified) Values(ctx *Context) (Values, error) {
+	o := ctx.Oracle
+	n := o.N()
+
+	// Lines 1-8: sample each stratum and evaluate sampled coalitions.
+	strata := a.draw(n, ctx.RNG)
+	for k := 1; k <= n; k++ {
+		for _, c := range strata[k] {
+			o.U(c)
+		}
+	}
+	o.U(combin.Empty)
+	sampled := sampledSet(strata)
+
+	// Lines 9-17: pair sampled combinations per scheme and average.
+	sums := make([][]float64, n)
+	cnts := make([][]int, n)
+	for i := range sums {
+		sums[i] = make([]float64, n+1)
+		cnts[i] = make([]int, n+1)
+	}
+	a.forEachPair(n, strata, sampled, func(i, k int, s, pair combin.Coalition) {
+		sums[i][k] += o.U(s) - o.U(pair)
+		cnts[i][k]++
+	})
+	phi := make(Values, n)
+	for i := 0; i < n; i++ {
+		var total float64
+		for k := 1; k <= n; k++ {
+			if cnts[i][k] > 0 {
+				total += sums[i][k] / float64(cnts[i][k])
 			}
 		}
 		phi[i] = total / float64(n)

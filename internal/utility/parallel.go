@@ -8,6 +8,69 @@ import (
 	"fedshap/internal/combin"
 )
 
+// Parallel evaluation: every entry point below drives the same bounded
+// worker pool over the oracle's evaluation function. Coalition trainings
+// are embarrassingly parallel — each trains an independent model — so the
+// wall-clock of every algorithm scales down by the worker count while the
+// budget accounting (distinct evaluations), the OnEval progress hook and
+// the write-through persistence seam behave exactly as under serial
+// evaluation.
+//
+//   - PrefetchStream is the pipelined core: it consumes coalitions from a
+//     channel as the producer emits them, so evaluation overlaps plan
+//     generation.
+//   - Prefetch feeds a known list through the stream after deduplicating
+//     and dropping already-cached entries.
+//   - EvalBatch is Prefetch plus result collection, for callers that want
+//     the utilities, not just a warm cache.
+
+// PrefetchStream evaluates coalitions arriving on the channel concurrently
+// on a bounded worker pool, caching the results. workers <= 0 selects
+// GOMAXPROCS. Already-cached coalitions are skipped, and duplicates within
+// the stream are claimed by exactly one worker — a duplicate must never
+// race two workers into the same training run, because each evaluation is
+// a full federated training. When ctx is cancelled the pool drains the
+// channel without issuing fresh evaluations and returns the context error;
+// utilities evaluated before the cancellation stay cached. PrefetchStream
+// returns once the channel is closed and the in-flight evaluations
+// finished.
+func (o *Oracle) PrefetchStream(ctx context.Context, coalitions <-chan combin.Coalition, workers int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		mu   sync.Mutex
+		seen = make(map[combin.Coalition]struct{})
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range coalitions {
+				if ctx.Err() != nil {
+					continue // drain the channel without evaluating
+				}
+				mu.Lock()
+				_, dup := seen[s]
+				if !dup {
+					seen[s] = struct{}{}
+				}
+				mu.Unlock()
+				if dup || o.Cached(s) {
+					continue
+				}
+				o.safeU(s)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
 // Prefetch evaluates the given coalitions concurrently on a bounded worker
 // pool and caches the results, so that a subsequent single-threaded
 // valuation pass (which is where the algorithmic bookkeeping lives) hits a
@@ -24,9 +87,6 @@ func (o *Oracle) Prefetch(ctx context.Context, coalitions []combin.Coalition, wo
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	// Deduplicate and drop cached entries up front.
 	pending := make([]combin.Coalition, 0, len(coalitions))
 	seen := make(map[combin.Coalition]struct{}, len(coalitions))
@@ -42,29 +102,34 @@ func (o *Oracle) Prefetch(ctx context.Context, coalitions []combin.Coalition, wo
 	if len(pending) == 0 {
 		return ctx.Err()
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(pending) {
 		workers = len(pending)
 	}
-	var wg sync.WaitGroup
 	work := make(chan combin.Coalition)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range work {
-				if ctx.Err() != nil {
-					continue // drain the channel without evaluating
-				}
-				o.safeU(s)
-			}
-		}()
+	go func() {
+		defer close(work)
+		for _, s := range pending {
+			work <- s
+		}
+	}()
+	return o.PrefetchStream(ctx, work, workers)
+}
+
+// EvalBatch evaluates the given coalitions concurrently (see Prefetch for
+// the pool semantics) and returns their utilities aligned with the input.
+// On cancellation it returns the context error and no values.
+func (o *Oracle) EvalBatch(ctx context.Context, coalitions []combin.Coalition, workers int) ([]float64, error) {
+	if err := o.Prefetch(ctx, coalitions, workers); err != nil {
+		return nil, err
 	}
-	for _, s := range pending {
-		work <- s
+	out := make([]float64, len(coalitions))
+	for i, s := range coalitions {
+		out[i] = o.U(s) // warm: the pool above evaluated every entry
 	}
-	close(work)
-	wg.Wait()
-	return ctx.Err()
+	return out, nil
 }
 
 // safeU evaluates one coalition, swallowing the cancellation panic a bound

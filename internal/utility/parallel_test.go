@@ -71,3 +71,86 @@ func TestPrefetchEmptyInput(t *testing.T) {
 		t.Errorf("evals = %d", o.Evals())
 	}
 }
+
+func TestPrefetchStreamPipelines(t *testing.T) {
+	// The pool must start evaluating while the producer is still emitting:
+	// feed coalitions through an unbuffered channel from a slow producer
+	// and check every one lands in the cache exactly once.
+	var calls int64
+	o := NewOracle(6, func(s combin.Coalition) float64 {
+		atomic.AddInt64(&calls, 1)
+		return float64(s.Size())
+	})
+	var want []combin.Coalition
+	combin.SubsetsOfSize(6, 2, func(s combin.Coalition) { want = append(want, s) })
+	ch := make(chan combin.Coalition)
+	go func() {
+		defer close(ch)
+		for _, s := range want {
+			ch <- s
+			ch <- s // duplicates must not double-evaluate
+		}
+	}()
+	if err := o.PrefetchStream(context.Background(), ch, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&calls); got != int64(len(want)) {
+		t.Errorf("calls = %d, want %d", got, len(want))
+	}
+	if got := o.Evals(); got != len(want) {
+		t.Errorf("evals = %d, want %d", got, len(want))
+	}
+}
+
+func TestPrefetchStreamCancelDrains(t *testing.T) {
+	o := NewOracle(6, func(s combin.Coalition) float64 { return 0 })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ch := make(chan combin.Coalition)
+	go func() {
+		defer close(ch)
+		combin.SubsetsOfSize(6, 2, func(s combin.Coalition) { ch <- s })
+	}()
+	if err := o.PrefetchStream(ctx, ch, 2); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if o.Evals() != 0 {
+		t.Errorf("cancelled stream evaluated %d coalitions", o.Evals())
+	}
+}
+
+func TestEvalBatchReturnsAlignedValues(t *testing.T) {
+	var calls int64
+	o := NewOracle(5, func(s combin.Coalition) float64 {
+		atomic.AddInt64(&calls, 1)
+		return float64(s.Size())
+	})
+	in := []combin.Coalition{
+		combin.NewCoalition(0, 1),
+		combin.Empty,
+		combin.NewCoalition(0, 1), // duplicate: same value, one evaluation
+		combin.NewCoalition(2, 3, 4),
+	}
+	got, err := o.EvalBatch(context.Background(), in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 0, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3 (dedup)", calls)
+	}
+}
+
+func TestEvalBatchCancelled(t *testing.T) {
+	o := NewOracle(5, func(s combin.Coalition) float64 { return 0 })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := o.EvalBatch(ctx, []combin.Coalition{combin.Empty}, 2); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -30,6 +30,14 @@ type Config struct {
 	// hard cap: the evaluation pool is then never widened to an attached
 	// worker fleet's capacity.
 	EvalWorkers int
+	// TrainWorkers parallelises per-client local training inside each
+	// FedAvg round of every coalition evaluation (client-level
+	// parallelism; see fl.Config.Workers). Training is bit-identical at
+	// any value. <= 1 trains clients serially — the right default when
+	// EvalWorkers already saturates the cores; raise it instead of
+	// EvalWorkers for jobs that evaluate few coalitions over many
+	// clients.
+	TrainWorkers int
 	// QueueCap bounds pending jobs; Submit fails when full (default 64).
 	QueueCap int
 	// CacheDir roots the persistent utility store; "" disables
@@ -712,6 +720,12 @@ func (m *Manager) runJob(j *Job) {
 	}
 	j.setProblem(p.Name)
 
+	// Client-level training parallelism is configured before the oracle is
+	// built (the oracle snapshots the FL spec). It never changes results,
+	// so it stays out of the problem fingerprint.
+	if m.cfg.TrainWorkers > 1 && p.Spec != nil {
+		p.Spec.Config.Workers = m.cfg.TrainWorkers
+	}
 	oracle := p.Oracle()
 	if m.store != nil {
 		warmed, err := m.store.Attach(oracle, j.snapshot().Fingerprint)
@@ -723,10 +737,8 @@ func (m *Manager) runJob(j *Job) {
 	}
 	oracle.OnEval(j.setFresh)
 
-	// Evaluate the algorithm's deterministic plan on the job's evaluation
-	// pool first; the sequential valuation pass then runs against a warm
-	// cache. Cancellation mid-prefetch falls through to shapley.Run, which
-	// reports it uniformly.
+	// Resolve the width of the job's coalition-evaluation pool: the
+	// request's preference, else the daemon's, else one pool slot per CPU.
 	evalWorkers := req.Workers
 	if evalWorkers <= 0 {
 		evalWorkers = m.cfg.EvalWorkers
@@ -765,8 +777,19 @@ func (m *Manager) runJob(j *Job) {
 			evalWorkers = cap
 		}
 	}
-	if pf, ok := alg.(shapley.Prefetchable); ok && evalWorkers > 1 {
-		_ = oracle.Prefetch(j.ctx, pf.PrefetchPlan(p.N), evalWorkers)
+	// Pipeline the algorithm's deterministic evaluation plan — the full
+	// seeded sampling sequence for the samplers, the certain set otherwise
+	// — through the job's evaluation pool (and, via the wrapped eval
+	// function, across the remote fleet). The sequential pass below then
+	// reduces against a warm cache. The plan is replayed from the same
+	// seed the run's Context uses, so it is exactly the run's request
+	// sequence: values, budget metering and fresh-evaluation counts are
+	// untouched. Cancellation mid-prefetch falls through to shapley.Run,
+	// which reports it uniformly.
+	if evalWorkers > 1 {
+		if plan, ok := shapley.PlanFor(alg, p.N, req.Seed+2); ok && len(plan) > 0 {
+			_ = oracle.Prefetch(j.ctx, plan, evalWorkers)
+		}
 	}
 
 	// The algorithm runs against a per-job budget view, not the raw

@@ -235,13 +235,29 @@ func ValidateRequest(req fedshap.JobRequest, lenientData bool) error {
 // coalitions the coordinator retries after a fleet change are served from
 // the worker's own cache instead of retrained.
 func WorkerEval(spec evalnet.ProblemSpec) (utility.EvalFunc, error) {
-	req := spec.Request
-	Normalize(&req)
-	p, err := BuildProblem(req)
-	if err != nil {
-		return nil, err
+	return WorkerEvalWith(0)(spec)
+}
+
+// WorkerEvalWith is WorkerEval with client-level training parallelism:
+// every coalition the worker evaluates trains its clients across
+// trainWorkers concurrent slots (see fl.Config.Workers). Training is
+// bit-identical at any value, so a mixed fleet still agrees on every
+// utility. The right setting depends on the worker's -capacity: a worker
+// evaluating one coalition at a time wants trainWorkers ≈ its core count,
+// while capacity ≈ cores pairs with serial training.
+func WorkerEvalWith(trainWorkers int) func(evalnet.ProblemSpec) (utility.EvalFunc, error) {
+	return func(spec evalnet.ProblemSpec) (utility.EvalFunc, error) {
+		req := spec.Request
+		Normalize(&req)
+		p, err := BuildProblem(req)
+		if err != nil {
+			return nil, err
+		}
+		if trainWorkers > 1 && p.Spec != nil {
+			p.Spec.Config.Workers = trainWorkers
+		}
+		return p.Oracle().U, nil
 	}
-	return p.Oracle().U, nil
 }
 
 // BuildProblem constructs the valuation problem for a normalized request

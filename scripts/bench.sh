@@ -1,0 +1,66 @@
+#!/bin/sh
+# bench.sh — runs the key performance benchmarks and records the results as
+# JSON, so every PR leaves a comparable point on the perf trajectory.
+#
+#   sh scripts/bench.sh                # full run, writes BENCH_PR4.json
+#   sh scripts/bench.sh -short out.json  # one iteration per benchmark (CI smoke)
+#
+# The benchmark set covers the evaluation pipeline end to end:
+#   BenchmarkFederationValue   public API, IPSS on MLP, serial vs worker pool
+#   BenchmarkIPSS              one IPSS run at the Table III budget
+#   BenchmarkUtilityEval       τ, the per-coalition train+evaluate cost
+#   BenchmarkOraclePrefetch    the concurrent evaluation pool over the cache
+#
+# Compare against the committed baseline of the previous PR with any JSON
+# diff; ns_per_op is wall-clock, bytes/allocs come from -benchmem.
+set -eu
+
+benchtime="1s"
+out="BENCH_PR4.json"
+for arg in "$@"; do
+	case "$arg" in
+	-short) benchtime="1x" ;;
+	*) out="$arg" ;;
+	esac
+done
+
+pattern='BenchmarkFederationValue|BenchmarkIPSS$|BenchmarkUtilityEval|BenchmarkOraclePrefetch'
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count 1 \
+	. ./internal/utility | tee "$raw" >&2
+
+awk -v go_version="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+	iters = $2
+	ns = $3
+	bytes = ""; allocs = ""
+	for (i = 4; i <= NF; i++) {
+		if ($i == "B/op") bytes = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, iters, ns)
+	if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+	if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+	line = line "}"
+	bench[n++] = line
+}
+END {
+	printf "{\n"
+	printf "  \"pr\": 4,\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"go\": \"%s\",\n", go_version
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchtime\": \"'"$benchtime"'\",\n"
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) printf "%s%s\n", bench[i], (i < n-1 ? "," : "")
+	printf "  ]\n"
+	printf "}\n"
+}' "$raw" > "$out"
+
+echo "bench: wrote $(grep -c '"name"' "$out") benchmark results to $out" >&2
