@@ -17,11 +17,17 @@
 // With -worker-addr set, the daemon also accepts a fleet of remote
 // evaluation workers (cmd/fedvalworker) and fans each job's coalition
 // evaluations out across them; jobs evaluate in-process while no workers
-// are attached. The worker listener is unauthenticated — anything that
-// can reach it can register and return utilities — so bind it to a
-// trusted network only:
+// are attached. The coordinator schedules adaptively — workers are picked
+// by observed evaluation latency, stragglers are speculatively
+// re-dispatched near job end (-speculate), and newly attached workers are
+// warm-started with the daemon's cached utilities. The worker listener is
+// unauthenticated — anything that can reach it can register and return
+// utilities — so bind it to a trusted network only:
 //
 //	fedvald -addr 127.0.0.1:8787 -worker-addr 10.0.0.5:8788
+//
+// GET /metrics exposes queue depth, cache hit ratio, journal size and the
+// fleet's per-worker scheduler state for dashboards and alerting.
 //
 // Submit and track jobs with `fedval -server http://127.0.0.1:8787 ...` or
 // plain HTTP:
@@ -58,6 +64,9 @@ func main() {
 		journal      = flag.String("journal", "fedval-jobs.jsonl", "durable job journal file: restart recovery replays it (empty disables durability)")
 		jobTTL       = flag.Duration("job-ttl", 0, "expire finished jobs this long after completion, e.g. 24h (0 keeps them forever)")
 		workerAddr   = flag.String("worker-addr", "", "listen address for remote evaluation workers (fedvalworker); empty disables the fleet")
+		speculate    = flag.Bool("speculate", true, "speculatively re-dispatch stragglers' in-flight coalitions to idle workers near job end (first result wins; values and budgets unchanged)")
+		compactEvery = flag.Duration("compact-every", 0, "background store+journal compaction interval, e.g. 1h (0 compacts only at startup and shutdown; requires exclusive ownership of the cache directory)")
+		sseHeartbeat = flag.Duration("sse-heartbeat", 15*time.Second, "idle heartbeat interval on SSE event streams so proxies keep them open (negative disables)")
 	)
 	flag.Parse()
 
@@ -67,7 +76,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		coord = evalnet.NewCoordinator()
+		coord = evalnet.NewCoordinatorWith(evalnet.SchedulerConfig{DisableSpeculation: !*speculate})
 		go func() { _ = coord.Serve(wln) }()
 		fmt.Fprintf(os.Stderr, "fedvald: accepting evaluation workers on %s\n", wln.Addr())
 	}
@@ -80,6 +89,8 @@ func main() {
 		CacheDir:     *cacheDir,
 		JournalPath:  *journal,
 		JobTTL:       *jobTTL,
+		CompactEvery: *compactEvery,
+		SSEHeartbeat: *sseHeartbeat,
 		Coordinator:  coord,
 	})
 	if err != nil {

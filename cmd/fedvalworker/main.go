@@ -3,7 +3,10 @@
 // serves federated-training evaluations for the jobs the daemon fans out.
 // Datasets and training are rebuilt deterministically from each job's spec,
 // so a fleet of workers produces bit-identical values to in-process
-// evaluation — only faster.
+// evaluation — only faster. On its first task of a job the worker also
+// receives the coordinator's cached utilities for that job (warm-start),
+// so coalitions the daemon already knows are answered from cache instead
+// of retrained.
 //
 // Usage:
 //
@@ -34,6 +37,7 @@ func main() {
 		trainWorkers = flag.Int("train-workers", 0, "concurrent per-client local trainings inside each FL round of one evaluation (<= 1 trains serially; pair -capacity 1 with -train-workers = cores for few-coalition jobs)")
 		name         = flag.String("name", "", "worker name in the fleet listing (default: hostname)")
 		retry        = flag.Duration("retry", 2*time.Second, "reconnect backoff after a lost coordinator")
+		warm         = flag.Bool("warm", true, "apply coordinator-shipped warm-start utilities instead of retraining them (disable only for debugging)")
 	)
 	flag.Parse()
 
@@ -52,7 +56,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	w := &evalnet.Worker{Name: *name, Capacity: cap, BuildEval: valserve.WorkerEvalWith(*trainWorkers)}
+	w := &evalnet.Worker{
+		Name:             *name,
+		Capacity:         cap,
+		Build:            valserve.WorkerEvaluatorWith(*trainWorkers),
+		DisableWarmStart: !*warm,
+	}
 	fmt.Fprintf(os.Stderr, "fedvalworker: %s (capacity %d) dialling %s\n", *name, cap, *coordinator)
 	for {
 		err := w.Dial(ctx, *coordinator)

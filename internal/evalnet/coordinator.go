@@ -8,16 +8,58 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"fedshap"
 	"fedshap/internal/combin"
 	"fedshap/internal/utility"
 )
 
+// SchedulerConfig tunes the coordinator's adaptive scheduler. The zero
+// value of every field selects a sensible default, so NewCoordinator
+// callers that don't care get latency-aware scheduling with speculation
+// enabled out of the box.
+type SchedulerConfig struct {
+	// DisableSpeculation turns straggler re-dispatch off: tasks then run on
+	// exactly one worker until it answers or dies. Speculation never
+	// changes results or budget accounting (the first result wins and
+	// duplicates are discarded), so it is on by default.
+	DisableSpeculation bool
+	// SpeculateFactor is the straggler threshold: a task is re-dispatched
+	// once its in-flight age exceeds Factor × the fleet's EWMA evaluation
+	// latency (default 3). Raise it on fleets with naturally noisy
+	// per-coalition cost.
+	SpeculateFactor float64
+	// SpeculateMinAge floors the straggler threshold, so a fleet of
+	// uniformly fast workers doesn't duplicate work over scheduling jitter
+	// (default 50ms).
+	SpeculateMinAge time.Duration
+	// SpeculateTick is how often the coordinator scans for stragglers
+	// while idle capacity exists (default 25ms).
+	SpeculateTick time.Duration
+}
+
+func (sc *SchedulerConfig) fillDefaults() {
+	if sc.SpeculateFactor <= 0 {
+		sc.SpeculateFactor = 3
+	}
+	if sc.SpeculateMinAge <= 0 {
+		sc.SpeculateMinAge = 50 * time.Millisecond
+	}
+	if sc.SpeculateTick <= 0 {
+		sc.SpeculateTick = 25 * time.Millisecond
+	}
+}
+
+// ewmaAlpha weights the latest latency sample in the per-worker EWMA.
+const ewmaAlpha = 0.3
+
 // Coordinator owns the worker fleet and schedules coalition evaluations
 // onto it. It is safe for concurrent use by many jobs; a single Coordinator
 // is shared by every job a valserve.Manager runs.
 type Coordinator struct {
+	sched SchedulerConfig
+
 	mu      sync.Mutex
 	workers map[int]*remoteWorker
 	// pending is the FIFO of unassigned tasks; requeues from dead workers
@@ -26,6 +68,14 @@ type Coordinator struct {
 	nextWkr  int
 	nextTask uint64
 	closed   bool
+
+	// redispatches counts speculative task copies dispatched; wins counts
+	// the copies that beat the original assignment to the result.
+	redispatches int64
+	wins         int64
+
+	specStop chan struct{}
+	specDone chan struct{}
 
 	lnMu sync.Mutex
 	ln   net.Listener
@@ -40,9 +90,18 @@ type remoteWorker struct {
 	conn     net.Conn
 
 	// inflight holds tasks assigned but unanswered; its size is bounded by
-	// capacity. specs records which problem specs this worker has received.
+	// capacity. started records each assignment's dispatch time for the
+	// latency EWMA and the straggler scan. specs records which problem
+	// specs this worker has received.
 	inflight map[uint64]*task
+	started  map[uint64]time.Time
 	specs    map[string]bool
+
+	// ewma is the exponentially weighted moving average of this worker's
+	// per-evaluation latency in nanoseconds; 0 until the first result.
+	ewma float64
+	// redispatched counts speculative copies this worker received.
+	redispatched int64
 
 	// outbox + outCond (on Coordinator.mu) feed the writer goroutine, so
 	// dispatching never blocks on a slow connection.
@@ -52,18 +111,44 @@ type remoteWorker struct {
 	done    int64
 }
 
+// latencyOr returns the worker's EWMA latency, or fallback when it has no
+// history yet.
+func (w *remoteWorker) latencyOr(fallback float64) float64 {
+	if w.ewma > 0 {
+		return w.ewma
+	}
+	return fallback
+}
+
 // task is one coalition evaluation in flight through the scheduler.
 type task struct {
 	id      uint64
 	session *Session
 	coal    combin.Coalition
 
-	// worker is the id of the worker the task is assigned to (-1 when
-	// queued). Guarded by Coordinator.mu.
-	worker int
+	// holders lists the workers currently evaluating this task — more than
+	// one after a speculative re-dispatch. delivered marks a task whose
+	// winning result already reached the caller, so late duplicates and
+	// worker-death requeues know to leave it alone. speculated caps each
+	// task at one speculative copy and specWorker records who received it
+	// (for the win accounting). All guarded by Coordinator.mu.
+	holders    []int
+	delivered  bool
+	speculated bool
+	specWorker int
 
 	once sync.Once
 	ch   chan taskResult // buffered(1); delivered at most once
+}
+
+// dropHolder removes worker id from the task's holder list.
+func (t *task) dropHolder(id int) {
+	for i, h := range t.holders {
+		if h == id {
+			t.holders = append(t.holders[:i], t.holders[i+1:]...)
+			return
+		}
+	}
 }
 
 type taskResult struct {
@@ -77,10 +162,45 @@ func (t *task) deliver(r taskResult) {
 	t.once.Do(func() { t.ch <- r })
 }
 
-// NewCoordinator builds an empty coordinator; attach workers with Serve or
+// NewCoordinator builds an empty coordinator with default scheduling
+// (latency-aware picking, speculation on); attach workers with Serve or
 // Attach.
 func NewCoordinator() *Coordinator {
-	return &Coordinator{workers: make(map[int]*remoteWorker)}
+	return NewCoordinatorWith(SchedulerConfig{})
+}
+
+// NewCoordinatorWith builds a coordinator with explicit scheduler tuning.
+func NewCoordinatorWith(sched SchedulerConfig) *Coordinator {
+	sched.fillDefaults()
+	c := &Coordinator{
+		sched:   sched,
+		workers: make(map[int]*remoteWorker),
+	}
+	if !sched.DisableSpeculation {
+		c.specStop = make(chan struct{})
+		c.specDone = make(chan struct{})
+		go c.speculateLoop()
+	}
+	return c
+}
+
+// speculateLoop periodically re-examines the fleet for stragglers; the
+// scan itself is cheap (a few map walks under the scheduler lock), so a
+// short tick keeps tail latency low without measurable overhead.
+func (c *Coordinator) speculateLoop() {
+	defer close(c.specDone)
+	t := time.NewTicker(c.sched.SpeculateTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.specStop:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			c.speculateLocked()
+			c.mu.Unlock()
+		}
+	}
 }
 
 // Serve accepts worker connections on ln until the listener closes (Close
@@ -124,6 +244,7 @@ func (c *Coordinator) Attach(conn net.Conn) error {
 		capacity: capacity,
 		conn:     conn,
 		inflight: make(map[uint64]*task),
+		started:  make(map[uint64]time.Time),
 		specs:    make(map[string]bool),
 	}
 	if err := enc.Encode(envelope{Hello: &helloMsg{Proto: protoVersion, Name: "coordinator"}}); err != nil {
@@ -139,7 +260,8 @@ func (c *Coordinator) Attach(conn net.Conn) error {
 	c.nextWkr++
 	w.outCond = sync.NewCond(&c.mu)
 	c.workers[w.id] = w
-	// A fresh worker may unblock queued work immediately.
+	// A fresh worker may unblock queued work immediately; with no queue,
+	// the next speculateLoop tick can hand it a straggler's task.
 	c.dispatchLocked()
 	c.mu.Unlock()
 
@@ -164,6 +286,9 @@ func (c *Coordinator) writeLoop(w *remoteWorker, enc *gob.Encoder) {
 		w.outbox = nil
 		c.mu.Unlock()
 		for _, m := range msgs {
+			if m.warm != nil && m.Spec != nil {
+				m.Spec.Warm = m.warm()
+			}
 			if err := enc.Encode(m); err != nil {
 				c.removeWorker(w)
 				return
@@ -187,31 +312,90 @@ func (c *Coordinator) readLoop(w *remoteWorker, dec *gob.Decoder) {
 	}
 }
 
-// completeTask delivers one worker result and refills the freed slot.
+// completeTask delivers one worker result and refills the freed slot. A
+// result for a task this worker no longer holds — retired with its
+// session or requeued after a presumed death — is discarded without
+// touching the accounting, as is a superseded duplicate, which is what
+// keeps budgets and values bit-identical under re-dispatch. The losing
+// copy of a speculated task keeps its in-flight slot until this reply
+// arrives: the worker really is still training it, so freeing the slot
+// earlier would oversubscribe the machine past its announced capacity.
 func (c *Coordinator) completeTask(w *remoteWorker, res resultMsg) {
 	c.mu.Lock()
 	t, ok := w.inflight[res.TaskID]
+	var deliver taskResult
 	if ok {
 		delete(w.inflight, res.TaskID)
-		if res.Err == "" {
-			w.done++ // error replies produced no utility; don't count them
+		if startedAt, has := w.started[res.TaskID]; has {
+			delete(w.started, res.TaskID)
+			// Losing duplicates update the EWMA too: the straggler's
+			// large sample is exactly the signal the scheduler needs.
+			// Warm cache hits don't — they measure nothing about this
+			// worker's training speed, and on a warm fleet they would
+			// drag the EWMA so low that every real training reads as a
+			// straggler and gets pointlessly duplicated.
+			if res.Err == "" && !res.Warm {
+				w.observeLatencyLocked(time.Since(startedAt))
+			}
+		}
+		t.dropHolder(w.id)
+		switch {
+		case t.delivered:
+			// The losing copy of a speculated task: the winner already
+			// answered. Discard uncounted; only the freed slot matters.
+			ok = false
+		case res.Err == "":
+			w.done++
+			t.delivered = true
+			if t.speculated && w.id == t.specWorker {
+				c.wins++ // the speculative copy beat the original
+			}
+			deliver = taskResult{u: res.U}
+		case len(t.holders) > 0:
+			// This copy failed but a twin is still evaluating; let it
+			// answer instead of falling back to local training. If the
+			// *original* failed, the surviving speculative copy becomes
+			// the de-facto original and regains the entitlement. If the
+			// *speculative copy* failed, the entitlement stays spent —
+			// resetting it would let a persistently erroring relief
+			// worker (still in the fleet, unlike a dead one) be re-picked
+			// every tick in a futile re-dispatch storm.
+			if w.id != t.specWorker {
+				t.speculated, t.specWorker = false, 0
+			}
+			ok = false
+		default:
+			deliver = taskResult{fallback: true}
 		}
 		c.dispatchLocked()
 	}
 	c.mu.Unlock()
 	if !ok {
-		return // stale: task already retired with its session
+		return // stale or superseded: another copy owns the answer
 	}
-	if res.Err != "" {
-		t.deliver(taskResult{fallback: true})
+	t.deliver(deliver)
+}
+
+// observeLatencyLocked folds one evaluation latency into the worker's
+// EWMA. A speculative copy's win is measured from its own dispatch, so a
+// fast worker relieving a straggler is not charged the straggler's delay.
+func (w *remoteWorker) observeLatencyLocked(d time.Duration) {
+	sample := float64(d)
+	if sample <= 0 {
+		sample = 1
+	}
+	if w.ewma == 0 {
+		w.ewma = sample
 		return
 	}
-	t.deliver(taskResult{u: res.U})
+	w.ewma = ewmaAlpha*sample + (1-ewmaAlpha)*w.ewma
 }
 
 // removeWorker retires a dead connection: its unanswered tasks go back to
 // the front of the queue (never lost, never double-delivered — the dead
-// link can produce no more results once inflight is cleared).
+// link can produce no more results once inflight is cleared). A task whose
+// speculative twin is still alive on another worker is not requeued: the
+// twin already owns it.
 func (c *Coordinator) removeWorker(w *remoteWorker) {
 	c.mu.Lock()
 	if w.gone {
@@ -222,14 +406,23 @@ func (c *Coordinator) removeWorker(w *remoteWorker) {
 	delete(c.workers, w.id)
 	orphans := make([]*task, 0, len(w.inflight))
 	for _, t := range w.inflight {
+		t.dropHolder(w.id)
+		if !t.delivered {
+			// Back to square one whether this death orphaned the task
+			// (requeued below, may straggle again on its next worker) or
+			// killed one of its copies (the survivor may need relief
+			// again): either way it regains its speculation entitlement.
+			t.speculated, t.specWorker = false, 0
+		}
+		if t.delivered || len(t.holders) > 0 {
+			continue
+		}
 		orphans = append(orphans, t)
 	}
 	w.inflight = make(map[uint64]*task)
+	w.started = make(map[uint64]time.Time)
 	// Requeue in assignment order for determinism of the retry schedule.
 	sort.Slice(orphans, func(a, b int) bool { return orphans[a].id < orphans[b].id })
-	for _, t := range orphans {
-		t.worker = -1
-	}
 	c.pending = append(orphans, c.pending...)
 	c.dispatchLocked()
 	w.outCond.Broadcast() // release the writer
@@ -237,17 +430,76 @@ func (c *Coordinator) removeWorker(w *remoteWorker) {
 	w.conn.Close()
 }
 
+// assignLocked records one task's assignment to a worker, shipping the
+// spec the first time the worker sees it. The session's warm-start
+// snapshot rides along, but is materialised lazily by the writer
+// goroutine (envelope.warm) so copying a large cache never happens under
+// the scheduler lock. The caller batches the actual task message.
+func (c *Coordinator) assignLocked(w *remoteWorker, t *task) {
+	sid := t.session.spec.ID
+	if !w.specs[sid] {
+		w.specs[sid] = true
+		w.outbox = append(w.outbox, envelope{
+			Spec: &specMsg{Spec: t.session.spec},
+			warm: t.session.warmEntries,
+		})
+	}
+	w.inflight[t.id] = t
+	w.started[t.id] = time.Now()
+	t.holders = append(t.holders, w.id)
+}
+
+// batchKey groups task assignments headed for one (worker, spec) pair.
+type batchKey struct {
+	wid  int
+	spec string
+}
+
+// batchSet accumulates task assignments and flushes them as one taskMsg
+// per (worker, spec) — shared by queue dispatch and straggler
+// re-dispatch so the outbox/Signal mechanics exist exactly once.
+type batchSet struct {
+	batches map[batchKey][]taskWire
+	touched []*remoteWorker
+}
+
+func newBatchSet() *batchSet {
+	return &batchSet{batches: make(map[batchKey][]taskWire)}
+}
+
+// add records one assignment of t to w.
+func (b *batchSet) add(w *remoteWorker, t *task) {
+	lo, hi := t.coal.Words()
+	key := batchKey{w.id, t.session.spec.ID}
+	if len(b.batches[key]) == 0 {
+		b.touched = append(b.touched, w)
+	}
+	b.batches[key] = append(b.batches[key], taskWire{ID: t.id, Lo: lo, Hi: hi})
+}
+
+// flushLocked appends the accumulated task messages to the worker
+// outboxes and wakes their writers. Caller holds c.mu.
+func (b *batchSet) flushLocked(c *Coordinator) {
+	for key, tasks := range b.batches {
+		w := c.workers[key.wid]
+		if w == nil {
+			continue // raced with removeWorker; tasks were requeued there
+		}
+		w.outbox = append(w.outbox, envelope{Task: &taskMsg{SpecID: key.spec, Tasks: tasks}})
+	}
+	for _, w := range b.touched {
+		w.outCond.Signal()
+	}
+}
+
 // dispatchLocked assigns queued tasks to free slots, batching consecutive
 // assignments to the same worker and spec into one taskMsg. With workers
 // connected but saturated it leaves the queue alone; with no workers at
-// all it hands every task back for local evaluation.
+// all it hands every task back for local evaluation. Straggler
+// re-dispatch is not done here — the speculateLoop ticker owns it, so
+// the per-Eval hot path never pays for a fleet-wide scan.
 func (c *Coordinator) dispatchLocked() {
-	type batchKey struct {
-		wid  int
-		spec string
-	}
-	batches := make(map[batchKey][]taskWire)
-	var touched []*remoteWorker
+	b := newBatchSet()
 	for len(c.pending) > 0 {
 		t := c.pending[0]
 		if t.session.closed {
@@ -265,44 +517,131 @@ func (c *Coordinator) dispatchLocked() {
 			break // fleet saturated; completions re-dispatch
 		}
 		c.pending = c.pending[1:]
-		sid := t.session.spec.ID
-		if !w.specs[sid] {
-			w.specs[sid] = true
-			w.outbox = append(w.outbox, envelope{Spec: &specMsg{Spec: t.session.spec}})
-		}
-		w.inflight[t.id] = t
-		t.worker = w.id
-		lo, hi := t.coal.Words()
-		key := batchKey{w.id, sid}
-		if len(batches[key]) == 0 {
-			touched = append(touched, w)
-		}
-		batches[key] = append(batches[key], taskWire{ID: t.id, Lo: lo, Hi: hi})
+		c.assignLocked(w, t)
+		b.add(w, t)
 	}
-	for key, tasks := range batches {
-		w := c.workers[key.wid]
-		if w == nil {
-			continue // raced with removeWorker; tasks were requeued there
-		}
-		w.outbox = append(w.outbox, envelope{Task: &taskMsg{SpecID: key.spec, Tasks: tasks}})
-	}
-	for _, w := range touched {
-		w.outCond.Signal()
-	}
+	b.flushLocked(c)
 }
 
-// pickWorkerLocked returns the least-loaded worker with a free in-flight
-// slot (load compared as inflight/capacity fractions), or nil.
-func (c *Coordinator) pickWorkerLocked() *remoteWorker {
-	var best *remoteWorker
-	for _, w := range c.workers {
-		if len(w.inflight) >= w.capacity {
+// speculateLocked re-dispatches stragglers' in-flight tasks to idle
+// workers. It only acts at the tail of a job — when the pending queue is
+// empty — because earlier there is real work for every free slot. A task
+// qualifies once its in-flight age exceeds the straggler threshold
+// (SpeculateFactor × fleet EWMA, floored at SpeculateMinAge) and it has
+// exactly one holder; the duplicate goes to the best idle worker other
+// than the holder. First result wins, so a straggler that eventually
+// answers is harmlessly discarded as stale.
+func (c *Coordinator) speculateLocked() {
+	if c.sched.DisableSpeculation || len(c.pending) > 0 || len(c.workers) < 2 {
+		return
+	}
+	fleet := c.fleetEWMALocked()
+	if fleet <= 0 {
+		return // no latency history yet — nothing to judge stragglers by
+	}
+	threshold := time.Duration(c.sched.SpeculateFactor * fleet)
+	if threshold < c.sched.SpeculateMinAge {
+		threshold = c.sched.SpeculateMinAge
+	}
+	now := time.Now()
+
+	b := newBatchSet()
+	// unrelievable remembers victims whose only possible relief worker is
+	// saturated (or is their own holder), so the scan moves on to younger
+	// stragglers another free slot could still take instead of stalling
+	// the whole pass on the oldest one.
+	var unrelievable map[*task]bool
+	for {
+		// Oldest qualifying straggler task first.
+		var (
+			victim *task
+			age    time.Duration
+		)
+		for _, w := range c.workers {
+			for id, t := range w.inflight {
+				if t.speculated || t.delivered || t.session.closed ||
+					len(t.holders) != 1 || unrelievable[t] {
+					continue
+				}
+				if a := now.Sub(w.started[id]); a > threshold && (victim == nil || a > age) {
+					victim, age = t, a
+				}
+			}
+		}
+		if victim == nil {
+			break // no relievable straggler left; flush what was assigned
+		}
+		dst := c.pickWorkerExceptLocked(victim.holders[0])
+		if dst == nil {
+			if unrelievable == nil {
+				unrelievable = make(map[*task]bool)
+			}
+			unrelievable[victim] = true
 			continue
 		}
-		if best == nil ||
-			len(w.inflight)*best.capacity < len(best.inflight)*w.capacity ||
-			(len(w.inflight)*best.capacity == len(best.inflight)*w.capacity && w.id < best.id) {
-			best = w
+		victim.speculated = true
+		victim.specWorker = dst.id
+		dst.redispatched++
+		c.redispatches++
+		c.assignLocked(dst, victim)
+		b.add(dst, victim)
+	}
+	b.flushLocked(c)
+}
+
+// fleetEWMALocked returns the mean EWMA latency across workers with
+// history, or 0 when no worker has answered anything yet.
+func (c *Coordinator) fleetEWMALocked() float64 {
+	var sum float64
+	n := 0
+	for _, w := range c.workers {
+		if w.ewma > 0 {
+			sum += w.ewma
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// pickWorkerLocked returns the worker expected to finish one more task
+// soonest, or nil when every worker is saturated. Only workers with a
+// free in-flight slot are considered, and a free slot starts the task
+// immediately, so expected completion time is simply the worker's EWMA
+// evaluation latency; workers with no latency history borrow the fleet
+// average. Latency ties fall back to the load fraction
+// inflight/capacity and then the lower worker id — so with no history
+// anywhere the policy is exactly the static least-loaded one, and a
+// uniform fleet schedules deterministically.
+func (c *Coordinator) pickWorkerLocked() *remoteWorker {
+	return c.pickWorkerExceptLocked(-1)
+}
+
+// pickWorkerExceptLocked is pickWorkerLocked skipping one worker id — the
+// straggler a speculative copy must not return to.
+func (c *Coordinator) pickWorkerExceptLocked(except int) *remoteWorker {
+	fleet := c.fleetEWMALocked()
+	var (
+		best    *remoteWorker
+		bestLat float64
+	)
+	for _, w := range c.workers {
+		if w.id == except || len(w.inflight) >= w.capacity {
+			continue
+		}
+		lat := w.latencyOr(fleet)
+		if lat <= 0 {
+			lat = 1 // unitless: equal latency everywhere → pure load balance
+		}
+		better := best == nil || lat < bestLat
+		if !better && lat == bestLat {
+			la, lb := len(w.inflight)*best.capacity, len(best.inflight)*w.capacity
+			better = la < lb || (la == lb && w.id < best.id)
+		}
+		if better {
+			best, bestLat = w, lat
 		}
 	}
 	return best
@@ -320,6 +659,10 @@ func (c *Coordinator) WorkerCount() int {
 func (c *Coordinator) TotalCapacity() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.totalCapacityLocked()
+}
+
+func (c *Coordinator) totalCapacityLocked() int {
 	total := 0
 	for _, w := range c.workers {
 		total += w.capacity
@@ -331,24 +674,44 @@ func (c *Coordinator) TotalCapacity() int {
 func (c *Coordinator) Workers() []fedshap.WorkerInfo {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.workersLocked()
+}
+
+func (c *Coordinator) workersLocked() []fedshap.WorkerInfo {
 	out := make([]fedshap.WorkerInfo, 0, len(c.workers))
 	for _, w := range c.workers {
 		out = append(out, fedshap.WorkerInfo{
-			ID:        w.id,
-			Name:      w.name,
-			Addr:      w.addr,
-			Capacity:  w.capacity,
-			InFlight:  len(w.inflight),
-			Completed: w.done,
+			ID:           w.id,
+			Name:         w.name,
+			Addr:         w.addr,
+			Capacity:     w.capacity,
+			InFlight:     len(w.inflight),
+			Completed:    w.done,
+			EWMAMillis:   w.ewma / float64(time.Millisecond),
+			Redispatched: w.redispatched,
 		})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out
 }
 
-// Close shuts the coordinator down: the listener stops accepting, every
-// worker connection is closed, and all queued work is handed back for
-// local evaluation so no Eval caller blocks forever.
+// Stats snapshots the scheduler for the daemon's /metrics endpoint.
+func (c *Coordinator) Stats() fedshap.FleetMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fedshap.FleetMetrics{
+		Workers:        c.workersLocked(),
+		TotalCapacity:  c.totalCapacityLocked(),
+		PendingTasks:   len(c.pending),
+		Redispatches:   c.redispatches,
+		RedispatchWins: c.wins,
+	}
+}
+
+// Close shuts the coordinator down: the listener stops accepting, the
+// straggler scan stops, every worker connection is closed, and all queued
+// work is handed back for local evaluation so no Eval caller blocks
+// forever.
 func (c *Coordinator) Close() error {
 	c.lnMu.Lock()
 	if c.ln != nil {
@@ -368,6 +731,10 @@ func (c *Coordinator) Close() error {
 		workers = append(workers, w)
 	}
 	c.mu.Unlock()
+	if c.specStop != nil {
+		close(c.specStop)
+		<-c.specDone
+	}
 	for _, w := range workers {
 		c.removeWorker(w) // requeues in-flight work, then local fallback
 	}
@@ -382,6 +749,10 @@ type Session struct {
 	spec  ProblemSpec
 	ctx   context.Context
 	local utility.EvalFunc
+	// warm snapshots the coordinator-side cached utilities for the spec,
+	// shipped to each worker with its first spec message; nil disables
+	// warm-start.
+	warm func() map[combin.Coalition]float64
 	// localSem bounds concurrent local fallback evaluations at the job's
 	// own local limit: the pool is sized for the fleet's capacity, so
 	// when the fleet vanishes mid-job the queued Evals must not all start
@@ -393,22 +764,44 @@ type Session struct {
 	stop   chan struct{}
 }
 
-// NewSession registers a job with the coordinator. ctx is the job's
-// context: when it is done, queued work is dropped, workers are told to
-// skip the spec, and blocked Eval calls abort. localLimit bounds the
-// session's concurrent local-fallback evaluations — the concurrency the
-// job would use with no fleet at all (<= 0 selects GOMAXPROCS) — so a
-// pool widened for a large fleet collapses back to sane local parallelism
-// when the fleet vanishes.
+// SessionConfig configures one job's fleet session.
+type SessionConfig struct {
+	// Spec identifies the job's valuation problem to workers.
+	Spec ProblemSpec
+	// Local is the in-process evaluation fallback.
+	Local utility.EvalFunc
+	// LocalLimit bounds the session's concurrent local-fallback
+	// evaluations — the concurrency the job would use with no fleet at all
+	// (<= 0 selects GOMAXPROCS).
+	LocalLimit int
+	// WarmSnapshot, when set, returns the coordinator-side cached
+	// utilities for the spec (typically utility.Oracle.Snapshot after the
+	// persistent store warmed it). Each worker receives the snapshot taken
+	// at the moment its first task of this spec is dispatched, so a
+	// recycled fleet never retrains what the daemon already knows.
+	WarmSnapshot func() map[combin.Coalition]float64
+}
+
+// NewSession registers a job with the coordinator without warm-start; see
+// NewSessionWith. ctx is the job's context: when it is done, queued work is
+// dropped, workers are told to skip the spec, and blocked Eval calls abort.
 func (c *Coordinator) NewSession(ctx context.Context, spec ProblemSpec, local utility.EvalFunc, localLimit int) *Session {
+	return c.NewSessionWith(ctx, SessionConfig{Spec: spec, Local: local, LocalLimit: localLimit})
+}
+
+// NewSessionWith registers a job with the coordinator. ctx is the job's
+// context: when it is done, queued work is dropped, workers are told to
+// skip the spec, and blocked Eval calls abort.
+func (c *Coordinator) NewSessionWith(ctx context.Context, cfg SessionConfig) *Session {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	localLimit := cfg.LocalLimit
 	if localLimit <= 0 {
 		localLimit = runtime.GOMAXPROCS(0)
 	}
 	s := &Session{
-		c: c, spec: spec, ctx: ctx, local: local,
+		c: c, spec: cfg.Spec, ctx: ctx, local: cfg.Local, warm: cfg.WarmSnapshot,
 		localSem: make(chan struct{}, localLimit),
 		stop:     make(chan struct{}),
 	}
@@ -418,11 +811,28 @@ func (c *Coordinator) NewSession(ctx context.Context, spec ProblemSpec, local ut
 	go func() {
 		select {
 		case <-ctx.Done():
-			s.c.cancelSpec(spec.ID)
+			s.c.cancelSpec(cfg.Spec.ID)
 		case <-s.stop:
 		}
 	}()
 	return s
+}
+
+// warmEntries materialises the session's warm snapshot for the wire.
+func (s *Session) warmEntries() []warmEntry {
+	if s.warm == nil {
+		return nil
+	}
+	snap := s.warm()
+	if len(snap) == 0 {
+		return nil
+	}
+	out := make([]warmEntry, 0, len(snap))
+	for coal, u := range snap {
+		lo, hi := coal.Words()
+		out = append(out, warmEntry{Lo: lo, Hi: hi, U: u})
+	}
+	return out
 }
 
 // Eval evaluates one coalition on the fleet, blocking until a result
@@ -472,7 +882,7 @@ func (c *Coordinator) enqueue(s *Session, coal combin.Coalition) *task {
 		return nil
 	}
 	c.nextTask++
-	t := &task{id: c.nextTask, session: s, coal: coal, worker: -1, ch: make(chan taskResult, 1)}
+	t := &task{id: c.nextTask, session: s, coal: coal, ch: make(chan taskResult, 1)}
 	c.pending = append(c.pending, t)
 	c.dispatchLocked()
 	return t

@@ -11,7 +11,7 @@
 //
 //	worker → coordinator   hello{name, capacity}
 //	coordinator → worker   hello ack, then per job:
-//	                       spec{problem}     once per (worker, job)
+//	                       spec{problem, warm utilities}  once per (worker, job)
 //	                       task{coalitions}  batches, ≤ capacity in flight
 //	                       cancel{spec}      job cancelled or finished
 //	worker → coordinator   result{coalition, utility} streamed as computed
@@ -20,20 +20,28 @@
 // (fedshap.JobRequest), not datasets: every problem in this repo is
 // generated deterministically from its request fields and seed, so each
 // worker rebuilds the identical federation locally and training yields
-// bit-identical utilities to the in-process oracle.
+// bit-identical utilities to the in-process oracle. The first spec message
+// a worker receives for a job also carries the coordinator's cached
+// utilities for the job's fingerprint (warm-start), so a recycled or
+// late-attaching worker never retrains a coalition the coordinator side
+// already knows.
 //
 // The coordinator hands each job a Session whose Eval method is plugged in
 // as the oracle's utility.EvalFunc (Oracle.WrapEval), so the existing
 // Prefetch pool, sharded cache, budget accounting and JSONL write-through
 // all apply unchanged — remote results land in the coordinator's cache and
-// store exactly as local ones do. Scheduling is least-loaded with
-// per-worker in-flight limits; a dead worker's in-flight coalitions are
-// requeued to the surviving fleet (or evaluated locally when no workers
-// remain), and results are delivered at most once, so a killed worker
-// never loses or double-counts an evaluation. Cancellation propagates:
-// when a job's context is done, queued tasks are dropped, blocked Eval
-// calls abort with *utility.CancelError, and workers are told to skip the
-// spec's queued work.
+// store exactly as local ones do. Scheduling is adaptive: the coordinator
+// tracks an EWMA of each worker's evaluation latency and assigns work by
+// expected completion time, and near the end of a job it speculatively
+// re-dispatches a straggler's in-flight coalitions to idle workers — the
+// first result wins and duplicates are discarded, so budget accounting and
+// values stay bit-identical to serial evaluation. A dead worker's
+// in-flight coalitions are requeued to the surviving fleet (or evaluated
+// locally when no workers remain), and results are delivered at most once,
+// so a killed worker never loses or double-counts an evaluation.
+// Cancellation propagates: when a job's context is done, queued tasks are
+// dropped, blocked Eval calls abort with *utility.CancelError, and workers
+// are told to skip the spec's queued work.
 //
 // Local in-process evaluation remains the default: a coordinator with no
 // attached workers is never consulted, and every Session carries the local
@@ -46,7 +54,8 @@ import (
 )
 
 // protoVersion guards against mismatched coordinator/worker builds.
-const protoVersion = 1
+// Version 2 added warm-start utilities on the spec message.
+const protoVersion = 2
 
 // ProblemSpec identifies one job's valuation problem to a worker. Request
 // fully determines the problem (datasets, model, FL config are all derived
@@ -74,8 +83,19 @@ type helloMsg struct {
 }
 
 // specMsg delivers a problem spec to a worker, once per (worker, spec).
+// Warm carries the coordinator's cached utilities for the spec at ship
+// time: the worker pre-populates its own cache with them so coalitions the
+// coordinator (or its persistent store) already knows are never retrained
+// on the fleet.
 type specMsg struct {
 	Spec ProblemSpec
+	Warm []warmEntry
+}
+
+// warmEntry is one (coalition, utility) pair shipped for warm-start.
+type warmEntry struct {
+	Lo, Hi uint64
+	U      float64
 }
 
 // taskWire is one coalition evaluation assignment.
@@ -93,11 +113,16 @@ type taskMsg struct {
 // resultMsg streams one computed utility back. A non-empty Err means the
 // worker could not produce the utility (spec build failure, cancellation);
 // the coordinator then falls back to local evaluation for that coalition.
+// Warm marks an answer served from the worker's cache (warm-start or a
+// repeated coalition) rather than trained: the coordinator must not fold
+// its near-zero latency into the worker's EWMA, or a warm fleet would
+// look fast enough to make every real training a "straggler".
 type resultMsg struct {
 	SpecID string
 	TaskID uint64
 	Lo, Hi uint64
 	U      float64
+	Warm   bool
 	Err    string
 }
 
@@ -107,13 +132,20 @@ type cancelMsg struct {
 	SpecID string
 }
 
-// envelope is the single wire frame; exactly one field is non-nil.
+// envelope is the single wire frame; exactly one exported field is
+// non-nil.
 type envelope struct {
 	Hello  *helloMsg
 	Spec   *specMsg
 	Task   *taskMsg
 	Result *resultMsg
 	Cancel *cancelMsg
+
+	// warm, when set on an outgoing Spec envelope, materialises Spec.Warm
+	// just before encoding — in the writer goroutine, outside the
+	// scheduler lock, so a large cache snapshot never stalls dispatching
+	// (gob ignores unexported fields).
+	warm func() []warmEntry
 }
 
 // coalition reconstructs the combin value from its wire words.

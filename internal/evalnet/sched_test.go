@@ -1,0 +1,260 @@
+package evalnet
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fedshap/internal/combin"
+	"fedshap/internal/utility"
+)
+
+// newLocalListener opens a loopback listener for tests that build their
+// coordinator with explicit scheduler tuning.
+func newLocalListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// dialCoordinator opens a raw worker connection for tests that drive a
+// Worker directly (custom Build, warm-start opt-out).
+func dialCoordinator(t *testing.T, addr net.Addr) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// additiveTable materialises the additive test game over the full power
+// set, the warm snapshot a coordinator-side store would hold.
+func additiveTable(n int) map[combin.Coalition]float64 {
+	out := make(map[combin.Coalition]float64)
+	combin.AllSubsets(n, func(s combin.Coalition) { out[s] = additive(s) })
+	return out
+}
+
+// oracleBuilder builds a worker evaluator backed by its own oracle — the
+// shape valserve.WorkerEvaluatorWith produces — counting the evaluations
+// that actually train (cache misses), and optionally slowing them down.
+func oracleBuilder(fresh *atomic.Int64, delay time.Duration) func(ProblemSpec) (Evaluator, error) {
+	return func(spec ProblemSpec) (Evaluator, error) {
+		oracle := utility.NewOracle(spec.N, func(s combin.Coalition) float64 {
+			if fresh != nil {
+				fresh.Add(1)
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			return additive(s)
+		})
+		return Evaluator{Eval: oracle.U, Warm: oracle.Warm, Cached: oracle.Cached}, nil
+	}
+}
+
+// TestStragglerRedispatch runs a deliberately lopsided fleet — one fast
+// worker, one slow — with speculation enabled: near the end of the job the
+// slow worker's in-flight coalitions must be speculatively re-dispatched
+// to the idle fast worker, the first result wins, and the duplicate that
+// the straggler eventually answers is discarded without double-charging
+// the budget meter or the fleet's completion accounting.
+func TestStragglerRedispatch(t *testing.T) {
+	c := NewCoordinatorWith(SchedulerConfig{
+		SpeculateFactor: 1.5,
+		SpeculateMinAge: 10 * time.Millisecond,
+		SpeculateTick:   5 * time.Millisecond,
+	})
+	ln := newLocalListener(t)
+	go func() { _ = c.Serve(ln) }()
+	t.Cleanup(func() { _ = c.Close() })
+	addr := ln.Addr()
+
+	var fast, slow atomic.Int64
+	startWorker(t, addr, "fast", 2, gameBuilder(&fast, time.Millisecond))
+	startWorker(t, addr, "slow", 2, gameBuilder(&slow, 80*time.Millisecond))
+	waitWorkers(t, c, 2)
+
+	var localCalls atomic.Int64
+	n := 6
+	oracle, _ := newSessionOracle(t, c, context.Background(), n, func(s combin.Coalition) float64 {
+		localCalls.Add(1)
+		return additive(s)
+	})
+
+	all := allCoalitions(n)
+	if err := oracle.Prefetch(context.Background(), all, 8); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range all {
+		if got := oracle.U(s); got != additive(s) {
+			t.Fatalf("U(%s) = %v, want %v", s, got, additive(s))
+		}
+	}
+	if oracle.Evals() != len(all) {
+		t.Errorf("fresh evals = %d, want %d (lost or double-counted work)", oracle.Evals(), len(all))
+	}
+	if localCalls.Load() != 0 {
+		t.Errorf("local fallback ran %d times with a healthy fleet", localCalls.Load())
+	}
+
+	// Let the straggler's superseded duplicates finish and stream their
+	// stale results back: the accounting must not move.
+	time.Sleep(200 * time.Millisecond)
+	stats := c.Stats()
+	if stats.Redispatches == 0 {
+		t.Error("no speculative re-dispatch despite an 80x straggler")
+	}
+	// The duplicate must actually reach the relief worker and answer
+	// first — a re-dispatch that is counted but never flushed to the wire
+	// would leave wins at zero (regression guard: speculative batches
+	// were once dropped when the straggler scan found no further victim).
+	if stats.RedispatchWins == 0 {
+		t.Error("speculative copies never beat an 80x straggler to the result")
+	}
+	var completed int64
+	for _, w := range stats.Workers {
+		completed += w.Completed
+		if w.Name == "slow" && w.EWMAMillis < 1 {
+			t.Errorf("slow worker EWMA = %vms, want >= 1ms", w.EWMAMillis)
+		}
+	}
+	if completed != int64(len(all)) {
+		t.Errorf("fleet completed %d evaluations, want %d (duplicates must be discarded, not counted)",
+			completed, len(all))
+	}
+	if fast.Load()+slow.Load() < int64(len(all)) {
+		t.Errorf("workers trained %d coalitions, want >= %d", fast.Load()+slow.Load(), len(all))
+	}
+}
+
+// TestWarmStartShipsCache gives the session a warm snapshot covering the
+// whole game — the coordinator-side cache a recycled fleet would find —
+// and checks an attaching worker answers every coalition from the shipped
+// utilities without one fresh training run.
+func TestWarmStartShipsCache(t *testing.T) {
+	c, addr := startCoordinator(t)
+	n := 5
+	warm := additiveTable(n)
+
+	var freshOnWorker atomic.Int64
+	w := &Worker{Name: "recycled", Capacity: 4, Build: oracleBuilder(&freshOnWorker, 0)}
+	conn := dialCoordinator(t, addr)
+	go func() { _ = w.Serve(context.Background(), conn) }()
+	waitWorkers(t, c, 1)
+
+	var localCalls atomic.Int64
+	oracle := utility.NewOracle(n, func(s combin.Coalition) float64 {
+		localCalls.Add(1)
+		return additive(s)
+	})
+	var sess *Session
+	oracle.WrapEval(func(inner utility.EvalFunc) utility.EvalFunc {
+		sess = c.NewSessionWith(context.Background(), SessionConfig{
+			Spec:         ProblemSpec{ID: "warm-spec", N: n},
+			Local:        inner,
+			LocalLimit:   8,
+			WarmSnapshot: func() map[combin.Coalition]float64 { return warm },
+		})
+		return sess.Eval
+	})
+	t.Cleanup(sess.Close)
+
+	all := allCoalitions(n)
+	if err := oracle.Prefetch(context.Background(), all, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range all {
+		if got := oracle.U(s); got != additive(s) {
+			t.Fatalf("U(%s) = %v, want %v", s, got, additive(s))
+		}
+	}
+	// Every utility flowed back remotely and was charged exactly once on
+	// the coordinator side...
+	if oracle.Evals() != len(all) {
+		t.Errorf("coordinator fresh evals = %d, want %d", oracle.Evals(), len(all))
+	}
+	// ...but the warm worker never trained anything.
+	if got := freshOnWorker.Load(); got != 0 {
+		t.Errorf("warm worker ran %d fresh evaluations, want 0", got)
+	}
+	if localCalls.Load() != 0 {
+		t.Errorf("local fallback ran %d times", localCalls.Load())
+	}
+	// Cache-hit answers carry no training signal: the worker's latency
+	// EWMA must stay unset, or a warm fleet would look microsecond-fast
+	// and misclassify every real training as a straggler.
+	for _, w := range c.Workers() {
+		if w.EWMAMillis != 0 {
+			t.Errorf("worker %s EWMA = %vms from warm answers, want 0", w.Name, w.EWMAMillis)
+		}
+	}
+}
+
+// TestWarmStartDisabled checks the worker-side opt-out: with
+// DisableWarmStart the shipped utilities are dropped and every coalition
+// is trained locally on the worker.
+func TestWarmStartDisabled(t *testing.T) {
+	c, addr := startCoordinator(t)
+	n := 4
+	warm := additiveTable(n)
+
+	var freshOnWorker atomic.Int64
+	w := &Worker{Name: "cold", Capacity: 4, Build: oracleBuilder(&freshOnWorker, 0), DisableWarmStart: true}
+	conn := dialCoordinator(t, addr)
+	go func() { _ = w.Serve(context.Background(), conn) }()
+	waitWorkers(t, c, 1)
+
+	oracle := utility.NewOracle(n, additive)
+	var sess *Session
+	oracle.WrapEval(func(inner utility.EvalFunc) utility.EvalFunc {
+		sess = c.NewSessionWith(context.Background(), SessionConfig{
+			Spec:         ProblemSpec{ID: "cold-spec", N: n},
+			Local:        inner,
+			LocalLimit:   4,
+			WarmSnapshot: func() map[combin.Coalition]float64 { return warm },
+		})
+		return sess.Eval
+	})
+	t.Cleanup(sess.Close)
+
+	all := allCoalitions(n)
+	if err := oracle.Prefetch(context.Background(), all, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := freshOnWorker.Load(); got != int64(len(all)) {
+		t.Errorf("opted-out worker trained %d coalitions, want %d", got, len(all))
+	}
+}
+
+// TestAdaptivePickPrefersFastWorker seeds two workers with very different
+// observed latencies and checks the scheduler routes the bulk of a
+// sequential workload to the faster one.
+func TestAdaptivePickPrefersFastWorker(t *testing.T) {
+	c, addr := startCoordinator(t)
+	var fast, slow atomic.Int64
+	startWorker(t, addr, "fast", 1, gameBuilder(&fast, time.Millisecond))
+	startWorker(t, addr, "slow", 1, gameBuilder(&slow, 40*time.Millisecond))
+	waitWorkers(t, c, 2)
+
+	n := 6
+	oracle, _ := newSessionOracle(t, c, context.Background(), n, additive)
+
+	// One evaluation at a time: after the warm-up samples, expected
+	// completion time should send nearly everything to the fast worker.
+	all := allCoalitions(n)
+	if err := oracle.Prefetch(context.Background(), all, 2); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Load() <= slow.Load() {
+		t.Errorf("latency-aware scheduling sent %d to the fast worker and %d to the 40x slower one",
+			fast.Load(), slow.Load())
+	}
+}

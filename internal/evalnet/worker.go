@@ -9,8 +9,23 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fedshap/internal/combin"
 	"fedshap/internal/utility"
 )
+
+// Evaluator is a worker-side problem evaluator. Eval computes one
+// coalition's utility; Warm, when non-nil, pre-populates the evaluator's
+// cache with utilities the coordinator shipped (warm-start), returning
+// how many were new; Cached, when non-nil, reports whether a coalition
+// is already in the cache — answers that were never trained are flagged
+// on the wire so they stay out of the coordinator's latency tracking.
+// valserve.WorkerEvaluatorWith builds all three from a fresh per-spec
+// oracle.
+type Evaluator struct {
+	Eval   utility.EvalFunc
+	Warm   func(entries map[combin.Coalition]float64) int
+	Cached func(s combin.Coalition) bool
+}
 
 // Worker is the remote-evaluation daemon: it dials a coordinator, receives
 // problem specs and coalition batches, trains locally and streams results
@@ -21,19 +36,40 @@ type Worker struct {
 	// Capacity bounds concurrent evaluations (<= 0 selects GOMAXPROCS);
 	// it is announced to the coordinator, which never exceeds it.
 	Capacity int
-	// BuildEval constructs the evaluation function for a spec, called once
-	// per spec and cached. The standard builder (valserve.WorkerEval)
-	// rebuilds the problem from the spec's request and evaluates through a
-	// fresh oracle, so repeated coalitions within a job are served from
-	// the worker's own cache.
+	// Build constructs the evaluator for a spec, called once per spec and
+	// cached. The standard builder (valserve.WorkerEvaluatorWith) rebuilds
+	// the problem from the spec's request and evaluates through a fresh
+	// oracle, so repeated coalitions within a job are served from the
+	// worker's own cache and coordinator-shipped warm utilities are never
+	// retrained. When nil, BuildEval is used instead (without warm-start).
+	Build func(spec ProblemSpec) (Evaluator, error)
+	// BuildEval is the plain-EvalFunc variant of Build, kept for builders
+	// that have no cache to warm. Ignored when Build is set.
 	BuildEval func(spec ProblemSpec) (utility.EvalFunc, error)
+	// DisableWarmStart drops coordinator-shipped warm utilities instead of
+	// applying them — every assigned coalition is then trained locally
+	// (fedvalworker -warm=false; mainly for debugging and benchmarks).
+	DisableWarmStart bool
+}
+
+// build resolves the configured builder.
+func (w *Worker) build(spec ProblemSpec) (Evaluator, error) {
+	if w.Build != nil {
+		return w.Build(spec)
+	}
+	if w.BuildEval != nil {
+		eval, err := w.BuildEval(spec)
+		return Evaluator{Eval: eval}, err
+	}
+	return Evaluator{}, fmt.Errorf("evalnet: worker has no problem builder")
 }
 
 // workerSpec is one cached problem on the worker.
 type workerSpec struct {
 	spec      ProblemSpec
+	warm      map[combin.Coalition]float64
 	once      sync.Once
-	eval      utility.EvalFunc
+	eval      Evaluator
 	err       error
 	cancelled atomic.Bool
 }
@@ -86,7 +122,14 @@ func (w *Worker) Serve(ctx context.Context, conn net.Conn) error {
 		switch {
 		case e.Spec != nil:
 			if _, ok := specs[e.Spec.Spec.ID]; !ok {
-				specs[e.Spec.Spec.ID] = &workerSpec{spec: e.Spec.Spec}
+				ws := &workerSpec{spec: e.Spec.Spec}
+				if !w.DisableWarmStart && len(e.Spec.Warm) > 0 {
+					ws.warm = make(map[combin.Coalition]float64, len(e.Spec.Warm))
+					for _, entry := range e.Spec.Warm {
+						ws.warm[combin.FromWords(entry.Lo, entry.Hi)] = entry.U
+					}
+				}
+				specs[e.Spec.Spec.ID] = ws
 			}
 		case e.Cancel != nil:
 			// Mark, then drop: in-flight goroutines still hold the pointer
@@ -115,7 +158,10 @@ func (w *Worker) Serve(ctx context.Context, conn net.Conn) error {
 }
 
 // run computes one assignment, converting every failure mode (unknown or
-// cancelled spec, build error, evaluation panic) into an error reply.
+// cancelled spec, build error, evaluation panic) into an error reply. The
+// first run of a spec builds its evaluator and applies the warm-start
+// utilities shipped with the spec, so a warm coalition is answered from
+// cache without training.
 func (w *Worker) run(ws *workerSpec, specID string, tw taskWire) (res *resultMsg) {
 	res = &resultMsg{SpecID: specID, TaskID: tw.ID, Lo: tw.Lo, Hi: tw.Hi}
 	defer func() {
@@ -133,18 +179,21 @@ func (w *Worker) run(ws *workerSpec, specID string, tw taskWire) (res *resultMsg
 		return res
 	}
 	ws.once.Do(func() {
-		build := w.BuildEval
-		if build == nil {
-			ws.err = fmt.Errorf("evalnet: worker has no problem builder")
-			return
+		ws.eval, ws.err = w.build(ws.spec)
+		if ws.err == nil && ws.eval.Warm != nil && len(ws.warm) > 0 {
+			ws.eval.Warm(ws.warm)
 		}
-		ws.eval, ws.err = build(ws.spec)
+		ws.warm = nil // applied (or unusable); release the snapshot
 	})
 	if ws.err != nil {
 		res.Err = ws.err.Error()
 		return res
 	}
-	res.U = ws.eval(tw.coalition())
+	coal := tw.coalition()
+	if ws.eval.Cached != nil && ws.eval.Cached(coal) {
+		res.Warm = true // answered from cache: no training happened
+	}
+	res.U = ws.eval.Eval(coal)
 	return res
 }
 

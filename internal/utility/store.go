@@ -133,6 +133,55 @@ func (st *Store) Attach(o *Oracle, fingerprint string) (int, error) {
 	return warmed, nil
 }
 
+// StoreStats summarises a store's on-disk footprint.
+type StoreStats struct {
+	// Fingerprints is the number of per-problem cache files.
+	Fingerprints int
+	// Bytes is their total size on disk. Compaction shrinks it by
+	// rewriting duplicate records (see Compact).
+	Bytes int64
+}
+
+// fingerprintFiles enumerates the store-owned cache files: every *.jsonl
+// in the directory whose basename is a valid fingerprint. Foreign .jsonl
+// files (a misplaced journal, editor droppings) are not the store's to
+// touch — this is the single definition of ownership shared by Stats and
+// CompactAll.
+func (st *Store) fingerprintFiles() ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(st.dir, "*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	owned := paths[:0]
+	for _, p := range paths {
+		if checkFingerprint(strings.TrimSuffix(filepath.Base(p), ".jsonl")) == nil {
+			owned = append(owned, p)
+		}
+	}
+	return owned, nil
+}
+
+// Stats scans the store directory and reports its footprint — the export
+// behind the valuation service's /metrics cache gauges. It deliberately
+// reads only directory metadata, never file contents, so it stays cheap
+// at GB-scale caches.
+func (st *Store) Stats() (StoreStats, error) {
+	paths, err := st.fingerprintFiles()
+	if err != nil {
+		return StoreStats{}, fmt.Errorf("utility: store stats: %w", err)
+	}
+	var out StoreStats
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		out.Fingerprints++
+		out.Bytes += fi.Size()
+	}
+	return out, nil
+}
+
 // Compact rewrites one fingerprint's JSONL file with a single line per
 // coalition (the last record wins) and drops malformed lines, so
 // long-lived caches stop growing unboundedly: duplicates accrue whenever
@@ -170,7 +219,9 @@ func (st *Store) Compact(fingerprint string) (kept, dropped int, err error) {
 		entries[s] = rec.U
 	})
 	if scanErr != nil {
-		return 0, 0, fmt.Errorf("utility: compact: %w", scanErr)
+		err := fmt.Errorf("utility: compact: %w", scanErr)
+		st.recordErr(err)
+		return 0, 0, err
 	}
 	kept = len(entries)
 	dropped = lines - kept
@@ -191,8 +242,12 @@ func (st *Store) Compact(fingerprint string) (kept, dropped int, err error) {
 	if open, ok := st.files[fingerprint]; ok {
 		open.Close()
 	}
-	if err := ReplaceJSONL(path, rows); err != nil {
-		return kept, dropped, fmt.Errorf("utility: compact: %w", err)
+	if rerr := ReplaceJSONL(path, rows); rerr != nil {
+		// Remembered like write errors: callers on background sweeps drop
+		// per-run errors, so Close is where a failing disk surfaces.
+		err := fmt.Errorf("utility: compact: %w", rerr)
+		st.recordErr(err)
+		return kept, dropped, err
 	}
 	return kept, dropped, nil
 }
@@ -201,16 +256,12 @@ func (st *Store) Compact(fingerprint string) (kept, dropped int, err error) {
 // summing the kept/dropped counts. The first error is returned after the
 // remaining files are still attempted.
 func (st *Store) CompactAll() (kept, dropped int, err error) {
-	paths, globErr := filepath.Glob(filepath.Join(st.dir, "*.jsonl"))
+	paths, globErr := st.fingerprintFiles()
 	if globErr != nil {
 		return 0, 0, fmt.Errorf("utility: compact all: %w", globErr)
 	}
 	for _, p := range paths {
-		fp := strings.TrimSuffix(filepath.Base(p), ".jsonl")
-		if checkFingerprint(fp) != nil {
-			continue // foreign file in the cache dir, not ours to rewrite
-		}
-		k, d, cerr := st.Compact(fp)
+		k, d, cerr := st.Compact(strings.TrimSuffix(filepath.Base(p), ".jsonl"))
 		kept += k
 		dropped += d
 		if err == nil && cerr != nil {

@@ -24,6 +24,40 @@ func countLines(t *testing.T, path string) int {
 	return n
 }
 
+// TestStoreStats checks the metrics export counts only the store's own
+// fingerprint files, by metadata alone.
+func TestStoreStats(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	empty, err := st.Stats()
+	if err != nil || empty.Fingerprints != 0 || empty.Bytes != 0 {
+		t.Fatalf("empty store stats = %+v (%v), want zeros", empty, err)
+	}
+	if err := st.Append("deadbeef", combin.NewCoalition(0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("cafebabe", combin.NewCoalition(1), 2); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign .jsonl in the cache dir (like a misplaced journal) is not
+	// counted: the store only owns valid fingerprint files.
+	if err := os.WriteFile(filepath.Join(dir, "not.a.fingerprint.jsonl"), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprints != 2 || got.Bytes == 0 {
+		t.Errorf("stats = %+v, want 2 fingerprints with nonzero bytes", got)
+	}
+}
+
 // TestStoreCompact writes duplicate and malformed records, compacts, and
 // checks the rewrite keeps exactly one (latest) record per coalition while
 // the loaded cache is unchanged.

@@ -249,6 +249,117 @@ func TestDistributedWorkerKillRequeue(t *testing.T) {
 	}
 }
 
+// TestDistributedStragglerRedispatch is the adaptive-scheduler acceptance
+// end-to-end: one worker process is deliberately ~60x slower than the
+// other, speculation is enabled, and the job must still produce values and
+// fresh-eval counts bit-identical to the in-process baseline — the
+// straggler's superseded duplicates are discarded, never double-charged.
+// GET /metrics must report the re-dispatches and, after a warm resubmit,
+// a nonzero cache-hit ratio.
+func TestDistributedStragglerRedispatch(t *testing.T) {
+	// Aggressive speculation tuning so the test straggler is relieved
+	// within milliseconds instead of the production-scale defaults.
+	coord := evalnet.NewCoordinatorWith(evalnet.SchedulerConfig{
+		SpeculateFactor: 1.5,
+		SpeculateMinAge: 10 * time.Millisecond,
+		SpeculateTick:   5 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = coord.Serve(ln) }()
+	t.Cleanup(func() { _ = coord.Close() })
+	addr := ln.Addr().String()
+	spawnWorkerProcess(t, addr, "fast", 2, 1)
+	spawnWorkerProcess(t, addr, "slow", 2, 60)
+	waitFleet(t, coord, 2)
+
+	req := fedshap.JobRequest{N: 7, Algorithm: "exact", Seed: 5}
+
+	// Baseline: the same job evaluated entirely in-process.
+	base, err := NewManager(Config{Workers: 1, BuildProblem: gameBuilder(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	st, err := base.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := waitState(t, base, st.ID, terminal)
+	if baseline.State != fedshap.JobDone {
+		t.Fatalf("baseline state = %s (%s)", baseline.State, baseline.Error)
+	}
+
+	// Distributed, over the full daemon HTTP surface so /metrics is
+	// exercised exactly as an operator sees it.
+	client, _ := startDaemon(t, Config{
+		Workers:      1,
+		CacheDir:     t.TempDir(),
+		Coordinator:  coord,
+		BuildProblem: gameBuilder(0, nil),
+	})
+	ctx := context.Background()
+	st2, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := client.Wait(ctx, st2.ID, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.State != fedshap.JobDone {
+		t.Fatalf("distributed state = %s (%s)", dist.State, dist.Error)
+	}
+	for i := range baseline.Report.Values {
+		if baseline.Report.Values[i] != dist.Report.Values[i] {
+			t.Errorf("value[%d]: in-process %v != distributed-with-speculation %v",
+				i, baseline.Report.Values[i], dist.Report.Values[i])
+		}
+	}
+	if baseline.FreshEvals != dist.FreshEvals {
+		t.Errorf("fresh evals: in-process %d != distributed %d (duplicates double-charged?)",
+			baseline.FreshEvals, dist.FreshEvals)
+	}
+	stats := coord.Stats()
+	if stats.Redispatches == 0 {
+		t.Error("no speculative re-dispatch despite a 60x straggler")
+	}
+	var completed int64
+	for _, w := range stats.Workers {
+		completed += w.Completed
+	}
+	if completed != int64(dist.FreshEvals) {
+		t.Errorf("fleet completed %d evaluations, fresh evals %d (duplicate results must be discarded)",
+			completed, dist.FreshEvals)
+	}
+
+	// Resubmit warm: zero fresh work, and /metrics shows both the
+	// scheduler and the cache paying off.
+	st3, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := client.Wait(ctx, st3.ID, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.State != fedshap.JobDone || warm.FreshEvals != 0 || warm.WarmedCoalitions == 0 {
+		t.Fatalf("warm rerun = %+v, want done with zero fresh evals", warm)
+	}
+	mt, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Fleet == nil || mt.Fleet.Redispatches == 0 {
+		t.Errorf("metrics fleet = %+v, want nonzero re-dispatch counter", mt.Fleet)
+	}
+	if mt.Cache.WarmedTotal == 0 || mt.Cache.HitRatio <= 0 {
+		t.Errorf("metrics cache = %+v, want nonzero warm/hit counters", mt.Cache)
+	}
+}
+
 // TestDistributedCancel cancels a job running on remote worker processes
 // and checks it terminates promptly without consuming the whole budget.
 func TestDistributedCancel(t *testing.T) {

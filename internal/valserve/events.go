@@ -2,6 +2,7 @@ package valserve
 
 import (
 	"sync"
+	"time"
 
 	"fedshap"
 )
@@ -18,6 +19,20 @@ type Event struct {
 	// Status is the job's status snapshot at the transition. For done
 	// events it includes the final Report.
 	Status *fedshap.JobStatus
+	// Seq is the event's per-job sequence number, strictly increasing
+	// across the job's published events. The SSE layer emits it as the
+	// event id, which is what makes Last-Event-ID resume possible:
+	// because snapshots are self-contained, "resume" is just "skip
+	// snapshots the client already holds" — events with Seq at or below
+	// the client's last seen id. Seq 0 means "unknown" (a snapshot seeded
+	// for a job with no published events this process life) and is never
+	// filtered.
+	Seq uint64
+	// Seed marks the snapshot a fresh subscription is primed with. It is
+	// stamped with the *last published* event's Seq but reflects the
+	// job's state *now* — possibly newer than that event — so the SSE
+	// layer always delivers it, Last-Event-ID notwithstanding.
+	Seed bool
 }
 
 // eventHub fans job events out to per-job subscribers. All channel sends
@@ -27,10 +42,24 @@ type eventHub struct {
 	mu   sync.Mutex
 	subs map[string]map[int]chan Event
 	next int
+	// base seeds each job's sequence counter with the hub's creation time
+	// in nanoseconds, so event ids stay monotone across daemon restarts
+	// without persisting any counter — assuming the host clock doesn't
+	// step backwards across the restart. If it does, a resuming client's
+	// stale Last-Event-ID can filter the new life's progress events; the
+	// terminal event is exempt from filtering, so the final state (and
+	// report) still gets through and only intermediate progress display
+	// degrades.
+	base uint64
+	seqs map[string]uint64
 }
 
 func newEventHub() *eventHub {
-	return &eventHub{subs: make(map[string]map[int]chan Event)}
+	return &eventHub{
+		subs: make(map[string]map[int]chan Event),
+		base: uint64(time.Now().UnixNano()),
+		seqs: make(map[string]uint64),
+	}
 }
 
 // watch registers a subscriber for job id and seeds it with the snapshot
@@ -44,7 +73,11 @@ func (h *eventHub) watch(id string, current func() *fedshap.JobStatus) (<-chan E
 	defer h.mu.Unlock()
 	ch := make(chan Event, 64)
 	st := current()
-	ch <- Event{Type: eventTypeForState(st.State), Status: st}
+	// The seed carries the job's current sequence number — the id of the
+	// last published event — but its snapshot is taken now and may be
+	// newer than that event, which is why Seed exempts it from resume
+	// filtering.
+	ch <- Event{Type: eventTypeForState(st.State), Status: st, Seq: h.seqs[id], Seed: true}
 	if st.State.Terminal() {
 		close(ch)
 		return ch, func() {}
@@ -75,6 +108,13 @@ func (h *eventHub) watch(id string, current func() *fedshap.JobStatus) (<-chan E
 func (h *eventHub) publish(id string, ev Event) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	seq := h.seqs[id]
+	if seq == 0 {
+		seq = h.base
+	}
+	seq++
+	h.seqs[id] = seq
+	ev.Seq = seq
 	for _, ch := range h.subs[id] {
 		sendLatest(ch, ev)
 	}
@@ -83,6 +123,7 @@ func (h *eventHub) publish(id string, ev Event) {
 			close(ch)
 		}
 		delete(h.subs, id)
+		delete(h.seqs, id)
 	}
 }
 

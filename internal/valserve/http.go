@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"fedshap"
 )
@@ -19,6 +21,7 @@ import (
 //	GET    /v1/jobs/{id}/events stream job events (Server-Sent Events)
 //	GET    /v1/jobs/{id}/report fetch a finished job's valuation report
 //	GET    /v1/workers          list attached remote evaluation workers
+//	GET    /metrics             operational snapshot (queue, cache, fleet)
 //	GET    /healthz             liveness probe
 //
 // Errors are returned as {"error": "..."} with a matching status code.
@@ -27,6 +30,9 @@ func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Metrics())
 	})
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req fedshap.JobRequest
@@ -72,9 +78,15 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	// Server-Sent Events: an initial snapshot event, then every state
 	// transition and progress checkpoint until the job terminates. Each
-	// frame is "event: <type>" + "data: <JobStatus JSON>". The stream
-	// closes itself after the terminal event; clients that lose it (proxy
-	// timeout, daemon restart) fall back to polling GET /v1/jobs/{id}.
+	// frame is "id: <seq>" + "event: <type>" + "data: <JobStatus JSON>".
+	// Idle streams are kept alive with ": ping" heartbeat comments
+	// (Config.SSEHeartbeat) so aggressive proxies don't cut them. A
+	// reconnecting client sends Last-Event-ID with the last id it saw;
+	// because every event carries a self-contained snapshot, resume is
+	// simply skipping non-terminal events at or below that id — terminal
+	// events are always delivered. The stream closes itself after the
+	// terminal event; clients that lose it permanently fall back to
+	// polling GET /v1/jobs/{id}.
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		ch, cancel, err := m.Watch(r.PathValue("id"))
 		if err != nil {
@@ -87,22 +99,51 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
 			return
 		}
+		lastSeen, _ := strconv.ParseUint(r.Header.Get("Last-Event-ID"), 10, 64)
 		h := w.Header()
 		h.Set("Content-Type", "text/event-stream")
 		h.Set("Cache-Control", "no-cache")
 		w.WriteHeader(http.StatusOK)
 		fl.Flush()
+
+		heartbeat := m.cfg.SSEHeartbeat
+		if heartbeat == 0 {
+			heartbeat = 15 * time.Second
+		}
+		var ping <-chan time.Time
+		if heartbeat > 0 {
+			t := time.NewTicker(heartbeat)
+			defer t.Stop()
+			ping = t.C
+		}
 		for {
 			select {
 			case <-r.Context().Done():
 				return // client went away
+			case <-ping:
+				// An SSE comment: ignored by parsers, but traffic enough
+				// to keep proxy idle-timeout clocks at zero.
+				fmt.Fprint(w, ": ping\n\n")
+				fl.Flush()
 			case ev, ok := <-ch:
 				if !ok {
 					return // terminal event delivered
 				}
+				terminal := ev.Status != nil && ev.Status.State.Terminal()
+				// The seed snapshot reflects the job's state *now*, which
+				// may be newer than the event id it is stamped with, so
+				// it is always delivered; so are terminal events. The
+				// filter drops only genuinely stale intermediate events —
+				// in practice ones from a previous daemon life.
+				if !ev.Seed && !terminal && lastSeen > 0 && ev.Seq > 0 && ev.Seq <= lastSeen {
+					continue
+				}
 				data, err := json.Marshal(ev.Status)
 				if err != nil {
 					continue
+				}
+				if ev.Seq > 0 {
+					fmt.Fprintf(w, "id: %d\n", ev.Seq)
 				}
 				fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
 				fl.Flush()

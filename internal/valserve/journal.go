@@ -111,6 +111,17 @@ func OpenJournal(path string) (*Journal, error) {
 // Path returns the journal's file path.
 func (jl *Journal) Path() string { return jl.path }
 
+// Size returns the journal's current size on disk in bytes (0 when the
+// file doesn't exist yet) — the /metrics journal gauge an operator watches
+// to decide whether compaction keeps up with event churn.
+func (jl *Journal) Size() int64 {
+	fi, err := os.Stat(jl.path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
 // Append records one event. Progress events are throttled per job
 // (ProgressEvery); everything else is written unconditionally. Errors are
 // recorded and surfaced by Close — a failing disk must not fail jobs.

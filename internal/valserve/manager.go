@@ -11,9 +11,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fedshap"
+	"fedshap/internal/combin"
 	"fedshap/internal/evalnet"
 	"fedshap/internal/experiments"
 	"fedshap/internal/shapley"
@@ -57,6 +59,20 @@ type Config struct {
 	// GCInterval is how often the TTL sweep runs (default 1 minute;
 	// only meaningful with JobTTL > 0).
 	GCInterval time.Duration
+	// CompactEvery, when > 0, runs a background compaction sweep on that
+	// interval: the persistent store's fingerprint files and the job
+	// journal are rewritten to one record per coalition/job, so a
+	// long-lived or crash-prone daemon stops accumulating duplicate
+	// records unboundedly. Off by default (0): compaction then runs only
+	// at startup replay and shutdown. Periodic compaction assumes this
+	// daemon is the only process appending to the cache directory.
+	CompactEvery time.Duration
+	// SSEHeartbeat is the idle-stream heartbeat interval for
+	// GET /v1/jobs/{id}/events: a ": ping" SSE comment is written whenever
+	// the stream has been quiet this long, so aggressive proxies don't
+	// kill idle connections. 0 selects the 15s default; < 0 disables
+	// heartbeats.
+	SSEHeartbeat time.Duration
 	// BuildProblem overrides problem construction. Tests inject synthetic
 	// games; nil uses the experiments constructors (and strict dataset
 	// validation).
@@ -214,14 +230,20 @@ func (j *Job) wasUserCancelled() bool {
 // bounded worker pool, a shared persistent utility store, and (when
 // configured) a durable job journal that survives daemon restarts.
 type Manager struct {
-	cfg     Config
-	store   *utility.Store
-	journal *Journal
-	hub     *eventHub
-	queue   chan *Job
-	wg      sync.WaitGroup
-	gcStop  chan struct{}
-	gcDone  chan struct{}
+	cfg         Config
+	store       *utility.Store
+	journal     *Journal
+	hub         *eventHub
+	queue       chan *Job
+	wg          sync.WaitGroup
+	gcStop      chan struct{}
+	gcDone      chan struct{}
+	compactStop chan struct{}
+	compactDone chan struct{}
+
+	// compactions / compactDropped feed the /metrics cache section.
+	compactions    atomic.Int64
+	compactDropped atomic.Int64
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -307,6 +329,11 @@ func NewManager(cfg Config) (*Manager, error) {
 		m.gcStop = make(chan struct{})
 		m.gcDone = make(chan struct{})
 		go m.gcLoop(interval)
+	}
+	if cfg.CompactEvery > 0 {
+		m.compactStop = make(chan struct{})
+		m.compactDone = make(chan struct{})
+		go m.compactLoop(cfg.CompactEvery)
 	}
 	return m, nil
 }
@@ -621,6 +648,95 @@ func (m *Manager) gcLoop(interval time.Duration) {
 	}
 }
 
+// CompactNow runs one compaction sweep over the persistent store and the
+// job journal, returning the number of duplicate records dropped. The
+// background loop (Config.CompactEvery) calls it on its interval; it is
+// exported for embedders and tests that want a deterministic sweep. Safe
+// while jobs are running — in-process appends are serialised against the
+// rewrite — but it assumes no other process appends to the cache
+// directory concurrently (see utility.Store.Compact).
+func (m *Manager) CompactNow() (dropped int, err error) {
+	var errs []error
+	if m.store != nil {
+		_, d, cerr := m.store.CompactAll()
+		dropped += d
+		errs = append(errs, cerr)
+	}
+	if m.journal != nil {
+		errs = append(errs, m.journal.CompactWith(m.snapshotsOldestFirst))
+	}
+	m.compactions.Add(1)
+	m.compactDropped.Add(int64(dropped))
+	return dropped, errors.Join(errs...)
+}
+
+// compactLoop periodically compacts the store and journal until Close —
+// the long-lived-daemon counterpart of the shutdown compaction, so a
+// crashed or never-restarted process doesn't accumulate duplicate records
+// without bound.
+func (m *Manager) compactLoop(interval time.Duration) {
+	defer close(m.compactDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.compactStop:
+			return
+		case <-t.C:
+			_, _ = m.CompactNow() // write errors surface via Close
+		}
+	}
+}
+
+// Metrics snapshots the manager for GET /metrics: job-state counts and
+// queue depth, cache effectiveness across the jobs currently remembered,
+// journal size on disk, and — with a coordinator configured — the
+// adaptive scheduler's fleet state.
+func (m *Manager) Metrics() *fedshap.Metrics {
+	var mt fedshap.Metrics
+	for _, st := range m.List() {
+		switch st.State {
+		case fedshap.JobQueued:
+			mt.Jobs.Queued++
+		case fedshap.JobRunning:
+			mt.Jobs.Running++
+		case fedshap.JobDone:
+			mt.Jobs.Done++
+		case fedshap.JobFailed:
+			mt.Jobs.Failed++
+		case fedshap.JobCancelled:
+			mt.Jobs.Cancelled++
+		}
+		mt.Cache.WarmedTotal += int64(st.WarmedCoalitions)
+		mt.Cache.FreshTotal += int64(st.FreshEvals)
+	}
+	mt.Jobs.QueueDepth = len(m.queue)
+	// The channel's real capacity, not cfg.QueueCap: crash recovery sizes
+	// the channel up to fit a replayed backlog, and a depth gauge must
+	// never read past its capacity.
+	mt.Jobs.QueueCapacity = cap(m.queue)
+	if total := mt.Cache.WarmedTotal + mt.Cache.FreshTotal; total > 0 {
+		mt.Cache.HitRatio = float64(mt.Cache.WarmedTotal) / float64(total)
+	}
+	mt.Cache.Compactions = m.compactions.Load()
+	mt.Cache.CompactionDropped = m.compactDropped.Load()
+	if m.store != nil {
+		if stats, err := m.store.Stats(); err == nil {
+			mt.Cache.StoreFingerprints = stats.Fingerprints
+			mt.Cache.StoreBytes = stats.Bytes
+		}
+	}
+	if m.journal != nil {
+		mt.Journal.Path = m.journal.Path()
+		mt.Journal.Bytes = m.journal.Size()
+	}
+	if m.cfg.Coordinator != nil {
+		fleet := m.cfg.Coordinator.Stats()
+		mt.Fleet = &fleet
+	}
+	return &mt
+}
+
 // Close cancels every live job, drains the workers, compacts the
 // persistent store and the journal, and closes both. Jobs that were
 // still queued or running are recorded in the journal as *queued*, not
@@ -655,6 +771,10 @@ func (m *Manager) Close() error {
 		close(m.gcStop)
 		<-m.gcDone
 	}
+	if m.compactStop != nil {
+		close(m.compactStop)
+		<-m.compactDone
+	}
 	for _, j := range jobs {
 		j.cancel()
 	}
@@ -683,6 +803,36 @@ func (m *Manager) Close() error {
 		errs = append(errs, cerr, m.store.Close())
 	}
 	return errors.Join(errs...)
+}
+
+// warmSource builds a job's warm-start snapshot provider: the job
+// oracle's cache unioned with the persistent store's *current* contents
+// for the fingerprint. The store re-read matters: this job's oracle only
+// knows what it was warmed with at attach time, but a concurrent job on
+// the same fingerprint writes utilities through to the store while this
+// one runs — and only coalitions missing from *this* oracle are ever
+// dispatched to the fleet, so the store is exactly where a shippable
+// answer the coordinator would otherwise retrain can still appear. The
+// function runs on the coordinator's writer goroutines (once per worker
+// and job), never on the scheduler lock, so the disk read is off every
+// hot path.
+func warmSource(oracle *utility.Oracle, store *utility.Store, fingerprint string) func() map[combin.Coalition]float64 {
+	return func() map[combin.Coalition]float64 {
+		snap := oracle.Snapshot()
+		if store == nil {
+			return snap
+		}
+		persisted, err := store.Load(fingerprint)
+		if err != nil {
+			return snap
+		}
+		for coal, u := range persisted {
+			if _, ok := snap[coal]; !ok {
+				snap[coal] = u
+			}
+		}
+		return snap
+	}
 }
 
 // buildProblem dispatches to the injected builder or the experiments
@@ -752,11 +902,15 @@ func (m *Manager) runJob(j *Job) {
 	// results flow back through the same cache, budget accounting and
 	// write-through. The session is registered even when the fleet is
 	// momentarily empty — evaluations then run through the local fallback,
-	// and workers that dial in mid-job are picked up. The pool is widened
-	// to the fleet's aggregate capacity (Eval blocks while a worker
-	// trains, so pool slots, not CPUs, keep the fleet busy) unless the
-	// request or the daemon set an explicit worker limit, which stays an
-	// upper bound on the job's concurrency wherever it runs.
+	// and workers that dial in mid-job are picked up. Each worker's first
+	// spec message ships the oracle's cache snapshot at that moment
+	// (store-warmed entries plus everything evaluated so far), so a
+	// recycled or late-attaching fleet never retrains what the daemon
+	// already knows. The pool is widened to the fleet's aggregate capacity
+	// (Eval blocks while a worker trains, so pool slots, not CPUs, keep
+	// the fleet busy) unless the request or the daemon set an explicit
+	// worker limit, which stays an upper bound on the job's concurrency
+	// wherever it runs.
 	if c := m.cfg.Coordinator; c != nil {
 		snap := j.snapshot()
 		spec := evalnet.ProblemSpec{
@@ -768,7 +922,12 @@ func (m *Manager) runJob(j *Job) {
 		localLimit := evalWorkers
 		var sess *evalnet.Session
 		oracle.WrapEval(func(local utility.EvalFunc) utility.EvalFunc {
-			sess = c.NewSession(j.ctx, spec, local, localLimit)
+			sess = c.NewSessionWith(j.ctx, evalnet.SessionConfig{
+				Spec:         spec,
+				Local:        local,
+				LocalLimit:   localLimit,
+				WarmSnapshot: warmSource(oracle, m.store, snap.Fingerprint),
+			})
 			return sess.Eval
 		})
 		defer sess.Close()

@@ -1,0 +1,219 @@
+package valserve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fedshap"
+	"fedshap/internal/combin"
+	"fedshap/internal/utility"
+)
+
+// TestMetricsEndpoint drives the full daemon flow and checks GET /metrics
+// aggregates it: job-state counts, queue bounds, cache effectiveness
+// (zero hit ratio on a cold run, nonzero after a warm resubmit), store
+// footprint and journal size.
+func TestMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	client, _ := startDaemon(t, Config{
+		Workers:      1,
+		QueueCap:     7,
+		CacheDir:     dir,
+		JournalPath:  dir + "/jobs-journal.db",
+		BuildProblem: gameBuilder(0, nil),
+	})
+	ctx := context.Background()
+
+	req := fedshap.JobRequest{N: 5, Algorithm: "exact", Seed: 9}
+	st, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := client.Wait(ctx, st.ID, 5*time.Millisecond, nil); err != nil || fin.State != fedshap.JobDone {
+		t.Fatalf("first run: %v (%+v)", err, fin)
+	}
+
+	mt, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Jobs.Done != 1 || mt.Jobs.QueueCapacity != 7 {
+		t.Errorf("jobs = %+v, want 1 done, queue capacity 7", mt.Jobs)
+	}
+	if mt.Cache.FreshTotal != 32 || mt.Cache.WarmedTotal != 0 || mt.Cache.HitRatio != 0 {
+		t.Errorf("cold cache metrics = %+v, want 32 fresh, 0 warmed", mt.Cache)
+	}
+	if mt.Cache.StoreFingerprints != 1 || mt.Cache.StoreBytes == 0 {
+		t.Errorf("store metrics = %+v, want 1 fingerprint with bytes on disk", mt.Cache)
+	}
+	if mt.Journal.Path == "" || mt.Journal.Bytes == 0 {
+		t.Errorf("journal metrics = %+v, want a path and bytes on disk", mt.Journal)
+	}
+	if mt.Fleet != nil {
+		t.Errorf("fleet = %+v, want nil without a coordinator", mt.Fleet)
+	}
+
+	// A warm resubmit flips the cache ratio.
+	st2, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := client.Wait(ctx, st2.ID, 5*time.Millisecond, nil); err != nil || fin.State != fedshap.JobDone {
+		t.Fatalf("warm run: %v (%+v)", err, fin)
+	}
+	mt, err = client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Cache.WarmedTotal != 32 || mt.Cache.HitRatio != 0.5 {
+		t.Errorf("warm cache metrics = %+v, want 32 warmed, hit ratio 0.5", mt.Cache)
+	}
+}
+
+// TestPeriodicCompaction checks the background compaction loop rewrites
+// duplicate store records while the daemon is live — the long-lived-daemon
+// counterpart of the shutdown compaction.
+func TestPeriodicCompaction(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(Config{
+		Workers:      1,
+		CacheDir:     dir,
+		JournalPath:  dir + "/jobs-journal.db",
+		CompactEvery: 20 * time.Millisecond,
+		BuildProblem: gameBuilder(0, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Seed the store with heavy duplication, as a crash-looping daemon
+	// re-evaluating the same fingerprint would.
+	const fp = "deadbeefdeadbeef"
+	coal := combin.NewCoalition(0, 1)
+	for i := 0; i < 50; i++ {
+		if err := m.Store().Append(fp, coal, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := m.Store().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Metrics().Cache.CompactionDropped < 49 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background compaction never dropped the duplicates (metrics: %+v)", m.Metrics().Cache)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	after, err := m.Store().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Bytes >= before.Bytes {
+		t.Errorf("store bytes %d → %d, want shrink", before.Bytes, after.Bytes)
+	}
+	// The compacted file still holds the utility.
+	entries, err := m.Store().Load(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[coal] != 3 {
+		t.Errorf("compacted entries = %v, want {%v: 3}", entries, coal)
+	}
+	if got := m.Metrics().Cache.Compactions; got == 0 {
+		t.Error("metrics report zero compaction sweeps")
+	}
+}
+
+// TestWarmSourceUnionsStore: the warm-start snapshot shipped to workers
+// must include utilities the persistent store gained *after* this job's
+// oracle was attached — that's what lets a concurrent same-fingerprint
+// job's work reach the fleet instead of being retrained there.
+func TestWarmSourceUnionsStore(t *testing.T) {
+	store, err := utility.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	const fp = "deadbeefcafef00d"
+	a, b := combin.NewCoalition(0), combin.NewCoalition(0, 1)
+
+	oracle := utility.NewOracle(4, func(s combin.Coalition) float64 { return 1 })
+	oracle.Warm(map[combin.Coalition]float64{a: 10})
+	// Another job persists b after this oracle was attached/warmed.
+	if err := store.Append(fp, b, 20); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := warmSource(oracle, store, fp)()
+	if len(snap) != 2 || snap[a] != 10 || snap[b] != 20 {
+		t.Errorf("warm snapshot = %v, want oracle ∪ store {a:10, b:20}", snap)
+	}
+	// Oracle entries win over stale store rows, and a nil store is fine.
+	if err := store.Append(fp, a, 99); err != nil {
+		t.Fatal(err)
+	}
+	if snap = warmSource(oracle, store, fp)(); snap[a] != 10 {
+		t.Errorf("oracle entry overridden by store: a=%v, want 10", snap[a])
+	}
+	if snap = warmSource(oracle, nil, fp)(); len(snap) != 1 || snap[a] != 10 {
+		t.Errorf("nil-store snapshot = %v, want oracle only", snap)
+	}
+}
+
+// TestCompactNow exercises the deterministic sweep entry point the
+// background loop runs, including the journal rewrite.
+func TestCompactNow(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(Config{
+		Workers:      1,
+		CacheDir:     dir,
+		JournalPath:  dir + "/jobs-journal.db",
+		BuildProblem: gameBuilder(0, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	st, err := m.Submit(fedshap.JobRequest{N: 4, Algorithm: "exact", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin := waitState(t, m, st.ID, terminal); fin.State != fedshap.JobDone {
+		t.Fatalf("job: %s (%s)", fin.State, fin.Error)
+	}
+	const fp = "feedfacefeedface"
+	for i := 0; i < 10; i++ {
+		if err := m.Store().Append(fp, combin.NewCoalition(2), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped, err := m.CompactNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped < 9 {
+		t.Errorf("CompactNow dropped %d records, want >= 9", dropped)
+	}
+	// Last record wins, exactly as Store.Compact documents.
+	entries, err := m.Store().Load(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[combin.NewCoalition(2)] != 9 {
+		t.Errorf("compacted utility = %v, want 9 (last record wins)", entries[combin.NewCoalition(2)])
+	}
+	// The journal survived its rewrite: the finished job still replays.
+	jobs, err := m.Journal().Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != st.ID || jobs[0].State != fedshap.JobDone {
+		t.Errorf("journal after compaction replays %+v, want the finished job", jobs)
+	}
+}

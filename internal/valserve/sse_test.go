@@ -1,0 +1,193 @@
+package valserve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fedshap"
+	"fedshap/internal/experiments"
+)
+
+// sseFrame is one parsed server-sent event (or heartbeat comment).
+type sseFrame struct {
+	id      string
+	event   string
+	status  *fedshap.JobStatus
+	comment bool
+}
+
+// readFrame parses the next SSE frame off the stream; heartbeat comments
+// are returned as their own frames so tests can assert on them.
+func readFrame(t *testing.T, br *bufio.Reader) sseFrame {
+	t.Helper()
+	var f sseFrame
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended mid-frame: %v", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if f.comment || f.status != nil {
+				return f
+			}
+		case strings.HasPrefix(line, ":"):
+			f.comment = true
+		case strings.HasPrefix(line, "id:"):
+			f.id = strings.TrimSpace(strings.TrimPrefix(line, "id:"))
+		case strings.HasPrefix(line, "event:"):
+			f.event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			var st fedshap.JobStatus
+			if err := json.Unmarshal([]byte(strings.TrimSpace(strings.TrimPrefix(line, "data:"))), &st); err != nil {
+				t.Fatalf("bad event payload: %v", err)
+			}
+			f.status = &st
+		}
+	}
+}
+
+// openStream opens a raw SSE connection for a job, optionally resuming
+// from a previous event id.
+func openStream(t *testing.T, base, jobID, lastEventID string) (*bufio.Reader, func()) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	return bufio.NewReader(resp.Body), func() { resp.Body.Close() }
+}
+
+// TestSSEHeartbeat holds a job idle and checks the events stream emits
+// ": ping" comments on the configured interval — the traffic that keeps
+// aggressive proxies from killing quiet streams.
+func TestSSEHeartbeat(t *testing.T) {
+	gate := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(gate)
+		}
+	}()
+	client, _ := startDaemon(t, Config{
+		Workers:      1,
+		SSEHeartbeat: 30 * time.Millisecond,
+		BuildProblem: func(req fedshap.JobRequest) (*experiments.Problem, error) {
+			<-gate // park the job mid-build so the stream stays quiet
+			return gameBuilder(0, nil)(req)
+		},
+	})
+	st, err := client.Submit(context.Background(), fedshap.JobRequest{N: 4, Algorithm: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	br, closeStream := openStream(t, client.BaseURL, st.ID, "")
+	defer closeStream()
+	// Initial snapshot first, then heartbeats while the job is parked.
+	if f := readFrame(t, br); f.status == nil {
+		t.Fatalf("first frame = %+v, want the snapshot event", f)
+	}
+	pings := 0
+	for pings < 3 {
+		f := readFrame(t, br)
+		if f.comment {
+			pings++
+		}
+	}
+
+	// Releasing the job ends the stream with a terminal event, pings
+	// notwithstanding.
+	released = true
+	close(gate)
+	for {
+		f := readFrame(t, br)
+		if f.status != nil && f.status.State.Terminal() {
+			if f.status.State != fedshap.JobDone {
+				t.Fatalf("terminal state = %s (%s)", f.status.State, f.status.Error)
+			}
+			return
+		}
+	}
+}
+
+// TestSSELastEventIDResume reconnects mid-job with the Last-Event-ID of
+// the snapshot already held: the daemon re-seeds the stream with the
+// *current* snapshot (state may have moved past the stamped id, so the
+// seed is never filtered) and then delivers only events newer than the
+// resumed id, with terminal events always getting through.
+func TestSSELastEventIDResume(t *testing.T) {
+	gate := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(gate)
+		}
+	}()
+	client, _ := startDaemon(t, Config{
+		Workers:      1,
+		SSEHeartbeat: -1, // keep frames deterministic for the id assertions
+		BuildProblem: func(req fedshap.JobRequest) (*experiments.Problem, error) {
+			<-gate
+			return gameBuilder(0, nil)(req)
+		},
+	})
+	st, err := client.Submit(context.Background(), fedshap.JobRequest{N: 4, Algorithm: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First connection: hold the running snapshot and its event id.
+	br, closeStream := openStream(t, client.BaseURL, st.ID, "")
+	first := readFrame(t, br)
+	if first.status == nil || first.id == "" {
+		t.Fatalf("first frame = %+v, want a snapshot with an event id", first)
+	}
+	closeStream()
+
+	// Resume past it: the stream re-seeds with the current snapshot (the
+	// job may have progressed past the stamped id, so the seed always
+	// goes out), then carries only events newer than the resumed id.
+	br2, closeStream2 := openStream(t, client.BaseURL, st.ID, first.id)
+	defer closeStream2()
+	f := readFrame(t, br2)
+	if f.status == nil || f.id != first.id {
+		t.Fatalf("resumed seed = %+v, want the current snapshot stamped id %s", f, first.id)
+	}
+	released = true
+	close(gate)
+	for f = readFrame(t, br2); f.status == nil || !f.status.State.Terminal(); f = readFrame(t, br2) {
+		if f.id != "" && f.id <= first.id {
+			t.Errorf("resumed stream replayed stale event id %s (resumed from %s)", f.id, first.id)
+		}
+	}
+	if f.status.State != fedshap.JobDone {
+		t.Fatalf("terminal state = %s (%s)", f.status.State, f.status.Error)
+	}
+	// A watcher arriving after the terminal event still gets the final
+	// snapshot even when its Last-Event-ID is current: terminal events
+	// are never filtered.
+	br3, closeStream3 := openStream(t, client.BaseURL, st.ID, f.id)
+	defer closeStream3()
+	fin := readFrame(t, br3)
+	if fin.status == nil || fin.status.State != fedshap.JobDone {
+		t.Fatalf("post-terminal resume frame = %+v, want the done snapshot", fin)
+	}
+}

@@ -246,17 +246,31 @@ func WorkerEval(spec evalnet.ProblemSpec) (utility.EvalFunc, error) {
 // evaluating one coalition at a time wants trainWorkers ≈ its core count,
 // while capacity ≈ cores pairs with serial training.
 func WorkerEvalWith(trainWorkers int) func(evalnet.ProblemSpec) (utility.EvalFunc, error) {
+	build := WorkerEvaluatorWith(trainWorkers)
 	return func(spec evalnet.ProblemSpec) (utility.EvalFunc, error) {
+		ev, err := build(spec)
+		return ev.Eval, err
+	}
+}
+
+// WorkerEvaluatorWith is the standard problem builder for a remote
+// evaluation worker (cmd/fedvalworker): like WorkerEvalWith, but it also
+// exposes the per-spec oracle's Warm hook, so coordinator-shipped
+// warm-start utilities land in the worker's cache and a recycled fleet
+// never retrains a coalition the daemon already knows.
+func WorkerEvaluatorWith(trainWorkers int) func(evalnet.ProblemSpec) (evalnet.Evaluator, error) {
+	return func(spec evalnet.ProblemSpec) (evalnet.Evaluator, error) {
 		req := spec.Request
 		Normalize(&req)
 		p, err := BuildProblem(req)
 		if err != nil {
-			return nil, err
+			return evalnet.Evaluator{}, err
 		}
 		if trainWorkers > 1 && p.Spec != nil {
 			p.Spec.Config.Workers = trainWorkers
 		}
-		return p.Oracle().U, nil
+		oracle := p.Oracle()
+		return evalnet.Evaluator{Eval: oracle.U, Warm: oracle.Warm, Cached: oracle.Cached}, nil
 	}
 }
 

@@ -2,8 +2,17 @@
 # bench.sh — runs the key performance benchmarks and records the results as
 # JSON, so every PR leaves a comparable point on the perf trajectory.
 #
-#   sh scripts/bench.sh                # full run, writes BENCH_PR4.json
-#   sh scripts/bench.sh -short out.json  # one iteration per benchmark (CI smoke)
+#   sh scripts/bench.sh                   # full run, writes BENCH_PR<n>.json
+#   sh scripts/bench.sh -short out.json   # one iteration per benchmark (CI smoke)
+#   sh scripts/bench.sh -gate out.json    # 200ms/benchmark: stable enough for
+#                                         # the bench_diff.sh regression gate
+#   BENCH_PR=7 sh scripts/bench.sh        # stamp + name the point for PR 7
+#
+# The PR number defaults to one past the newest committed BENCH_PR<n>.json
+# (so a fresh PR's run lands on a new file automatically, and the
+# trajectory accumulates instead of overwriting); set BENCH_PR explicitly
+# to re-record an existing point. An explicit output filename argument
+# overrides the derived name.
 #
 # The benchmark set covers the evaluation pipeline end to end:
 #   BenchmarkFederationValue   public API, IPSS on MLP, serial vs worker pool
@@ -11,15 +20,24 @@
 #   BenchmarkUtilityEval       τ, the per-coalition train+evaluate cost
 #   BenchmarkOraclePrefetch    the concurrent evaluation pool over the cache
 #
-# Compare against the committed baseline of the previous PR with any JSON
-# diff; ns_per_op is wall-clock, bytes/allocs come from -benchmem.
+# Compare against the committed baseline of the previous PR with
+# scripts/bench_diff.sh (CI gates the smoke run on it); ns_per_op is
+# wall-clock, bytes/allocs come from -benchmem.
 set -eu
 
+if [ -n "${BENCH_PR:-}" ]; then
+	pr="$BENCH_PR"
+else
+	newest=$(ls BENCH_PR*.json 2>/dev/null | sed 's/^BENCH_PR//; s/\.json$//' |
+		grep -E '^[0-9]+$' | sort -n | tail -1)
+	pr=$((${newest:-4} + 1))
+fi
 benchtime="1s"
-out="BENCH_PR4.json"
+out="BENCH_PR${pr}.json"
 for arg in "$@"; do
 	case "$arg" in
 	-short) benchtime="1x" ;;
+	-gate) benchtime="200ms" ;;
 	*) out="$arg" ;;
 	esac
 done
@@ -31,7 +49,7 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count 1 \
 	. ./internal/utility | tee "$raw" >&2
 
-awk -v go_version="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+awk -v pr="$pr" -v go_version="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { n = 0 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
@@ -52,7 +70,7 @@ BEGIN { n = 0 }
 }
 END {
 	printf "{\n"
-	printf "  \"pr\": 4,\n"
+	printf "  \"pr\": %s,\n", pr
 	printf "  \"date\": \"%s\",\n", date
 	printf "  \"go\": \"%s\",\n", go_version
 	printf "  \"cpu\": \"%s\",\n", cpu

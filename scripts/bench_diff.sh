@@ -1,0 +1,74 @@
+#!/bin/sh
+# bench_diff.sh — benchstat-style gate on the recorded perf trajectory:
+# compares a candidate bench JSON (e.g. the CI smoke run) against a
+# committed baseline and fails when any shared benchmark regressed more
+# than the threshold in ns/op.
+#
+#   sh scripts/bench_diff.sh BENCH_PR5.json bench-smoke.json        # 25% gate
+#   sh scripts/bench_diff.sh BENCH_PR5.json bench-smoke.json 10     # 10% gate
+#
+# Only benchmarks present in both files are compared, so adding or
+# retiring a benchmark never breaks the gate. The JSON is the line-shaped
+# format scripts/bench.sh emits (one benchmark object per line), which is
+# what lets a plain awk pass parse it without jq.
+set -eu
+
+if [ $# -lt 2 ]; then
+	echo "usage: sh scripts/bench_diff.sh <baseline.json> <candidate.json> [threshold-pct]" >&2
+	exit 2
+fi
+baseline="$1"
+candidate="$2"
+threshold="${3:-25}"
+
+for f in "$baseline" "$candidate"; do
+	if [ ! -f "$f" ]; then
+		echo "bench-diff: missing $f" >&2
+		exit 2
+	fi
+done
+
+awk -v threshold="$threshold" -v baseline="$baseline" -v candidate="$candidate" '
+function parse(line,   name, ns) {
+	if (match(line, /"name": *"[^"]+"/) == 0) return ""
+	name = substr(line, RSTART, RLENGTH)
+	sub(/"name": *"/, "", name)
+	sub(/"$/, "", name)
+	return name
+}
+function parse_ns(line,   ns) {
+	if (match(line, /"ns_per_op": *[0-9.]+/) == 0) return -1
+	ns = substr(line, RSTART, RLENGTH)
+	sub(/"ns_per_op": */, "", ns)
+	return ns + 0
+}
+FNR == 1 { file++ }
+/"name"/ {
+	name = parse($0)
+	ns = parse_ns($0)
+	if (name == "" || ns < 0) next
+	if (file == 1) base[name] = ns
+	else cand[name] = ns
+}
+END {
+	status = 0
+	compared = 0
+	for (name in cand) {
+		if (!(name in base)) continue
+		compared++
+		delta = (cand[name] - base[name]) * 100.0 / base[name]
+		mark = "ok"
+		if (delta > threshold) { mark = "REGRESSION"; status = 1 }
+		printf "%-12s %-45s %12.0f → %12.0f ns/op  %+7.1f%%\n", mark, name, base[name], cand[name], delta
+	}
+	if (compared == 0) {
+		printf "bench-diff: no shared benchmarks between %s and %s\n", baseline, candidate
+		exit 2
+	}
+	if (status != 0) {
+		printf "bench-diff: ns/op regressed more than %s%% against %s\n", threshold, baseline
+	} else {
+		printf "bench-diff: %d benchmarks within %s%% of %s\n", compared, threshold, baseline
+	}
+	exit status
+}' "$baseline" "$candidate"

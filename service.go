@@ -113,6 +113,84 @@ type WorkerInfo struct {
 	InFlight int `json:"in_flight"`
 	// Completed counts evaluations this worker has answered.
 	Completed int64 `json:"completed"`
+	// EWMAMillis is the worker's exponentially weighted moving average
+	// evaluation latency in milliseconds; 0 until its first result. The
+	// coordinator schedules by expected completion time derived from it.
+	EWMAMillis float64 `json:"ewma_ms"`
+	// Redispatched counts speculative straggler-relief copies this worker
+	// received.
+	Redispatched int64 `json:"redispatched"`
+}
+
+// FleetMetrics is the scheduler section of GET /metrics: the remote
+// evaluation fleet's per-worker state plus the coordinator's speculation
+// counters.
+type FleetMetrics struct {
+	// Workers lists the attached workers, as GET /v1/workers does.
+	Workers []WorkerInfo `json:"workers"`
+	// TotalCapacity is the fleet's aggregate in-flight limit.
+	TotalCapacity int `json:"total_capacity"`
+	// PendingTasks is the depth of the coordinator's unassigned-task queue.
+	PendingTasks int `json:"pending_tasks"`
+	// Redispatches counts speculative task copies dispatched to relieve
+	// stragglers; RedispatchWins counts the copies that answered first.
+	Redispatches   int64 `json:"redispatches"`
+	RedispatchWins int64 `json:"redispatch_wins"`
+}
+
+// JobMetrics is the job-table section of GET /metrics.
+type JobMetrics struct {
+	// Queued/Running/Done/Failed/Cancelled count jobs per lifecycle state.
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// QueueDepth is the number of jobs waiting for a pool worker;
+	// QueueCapacity is the admission limit (fedvald -queue).
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+}
+
+// CacheMetrics is the utility-cache section of GET /metrics. The hit
+// ratio is warmed / (warmed + fresh) across the jobs the daemon currently
+// remembers: 1 means every requested coalition was served from cache.
+type CacheMetrics struct {
+	// WarmedTotal sums every job's coalitions preloaded from the
+	// persistent store; FreshTotal sums fresh coalition evaluations.
+	WarmedTotal int64 `json:"warmed_total"`
+	FreshTotal  int64 `json:"fresh_total"`
+	// HitRatio is WarmedTotal / (WarmedTotal + FreshTotal), 0 when no
+	// coalition has been requested yet.
+	HitRatio float64 `json:"hit_ratio"`
+	// StoreFingerprints and StoreBytes describe the persistent store on
+	// disk (0 when persistence is disabled).
+	StoreFingerprints int   `json:"store_fingerprints"`
+	StoreBytes        int64 `json:"store_bytes"`
+	// Compactions counts background store+journal compaction sweeps run
+	// since start (fedvald -compact-every); CompactionDropped sums the
+	// duplicate records they removed.
+	Compactions       int64 `json:"compactions"`
+	CompactionDropped int64 `json:"compaction_dropped"`
+}
+
+// JournalMetrics is the durability section of GET /metrics.
+type JournalMetrics struct {
+	// Path is the journal file (empty when durability is disabled) and
+	// Bytes its current size on disk.
+	Path  string `json:"path,omitempty"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Metrics is the GET /metrics response: one JSON snapshot of queue depth,
+// cache effectiveness, journal size and — when a worker fleet is
+// configured — the adaptive scheduler's per-worker state.
+type Metrics struct {
+	Jobs    JobMetrics     `json:"jobs"`
+	Cache   CacheMetrics   `json:"cache"`
+	Journal JournalMetrics `json:"journal"`
+	// Fleet is nil when the daemon runs without -worker-addr.
+	Fleet *FleetMetrics `json:"fleet,omitempty"`
 }
 
 // ServiceError is a non-2xx daemon response.
@@ -243,6 +321,17 @@ func (c *ServiceClient) Workers(ctx context.Context) ([]WorkerInfo, error) {
 	return out, nil
 }
 
+// Metrics fetches the daemon's operational snapshot (GET /metrics): queue
+// depth, cache hit ratio, journal size and the evaluation fleet's
+// per-worker scheduler state.
+func (c *ServiceClient) Metrics(ctx context.Context) (*Metrics, error) {
+	var m Metrics
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
 // Report fetches the final report of a completed job.
 func (c *ServiceClient) Report(ctx context.Context, id string) (*Report, error) {
 	var r Report
@@ -259,56 +348,113 @@ func (c *ServiceClient) Report(ctx context.Context, id string) (*Report, error) 
 // "progress", "done", "failed" or "cancelled" — and st is the job's full
 // status snapshot at that moment (the done snapshot carries the Report).
 // The daemon pushes events as they happen, so progress arrives without
-// polling latency or per-poll request cost.
+// polling latency or per-poll request cost; it also emits ": ping"
+// heartbeat comments on idle streams so aggressive proxies keep the
+// connection open.
 //
+// A stream that drops before a terminal event — a proxy idle-timeout or a
+// momentary network fault — is resumed automatically: WatchJob reconnects
+// with a Last-Event-ID header carrying the last event id it saw, so the
+// daemon skips the snapshot the client already holds and continues from
+// the next transition. Reconnection gives up after a few consecutive
+// attempts that deliver nothing new (a daemon restart, or one predating
+// the events endpoint) and returns an error; callers wanting full
+// robustness fall back to polling Wait, as `fedval -server` does.
 // Cancelling ctx closes the stream and returns the last status seen
-// alongside ctx.Err(). If the stream ends before a terminal event — a
-// daemon restart, a proxy idle-timeout, or a daemon predating the events
-// endpoint — an error is returned; callers wanting robustness fall back
-// to polling Wait, as `fedval -server` does.
+// alongside ctx.Err().
 func (c *ServiceClient) WatchJob(ctx context.Context, id string, onEvent func(event string, st *JobStatus)) (*JobStatus, error) {
+	var (
+		last        *JobStatus
+		lastEventID string
+		stale       int // consecutive attempts with no event AND no heartbeat
+		lastErr     error
+	)
+	for stale < 3 {
+		st, alive, err := c.watchStream(ctx, id, lastEventID, &lastEventID, &last, onEvent)
+		if st != nil {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return last, ctx.Err()
+		}
+		var se *ServiceError
+		if errors.As(err, &se) || errors.Is(err, ErrJobNotFound) {
+			return last, err // the daemon answered: reconnecting won't help
+		}
+		lastErr = err
+		if alive {
+			stale = 0
+		} else {
+			stale++
+		}
+		// Breathe before redialling: a daemon mid-restart refuses
+		// connections for a moment, and instant retries would burn every
+		// attempt inside that window.
+		select {
+		case <-ctx.Done():
+			return last, ctx.Err()
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+	return last, fmt.Errorf("fedshap: event stream ended before a terminal event: %w", lastErr)
+}
+
+// watchStream consumes one SSE connection. It returns the terminal status
+// when one arrives; otherwise it reports whether the stream showed any
+// sign of life — an event, or a ": ping" heartbeat comment — and the
+// error that broke it. Heartbeats count: a quiet job behind a proxy that
+// drops idle connections produces reconnect cycles that deliver only
+// pings, and those must not be mistaken for a dead daemon. lastID, when
+// non-empty, is sent as Last-Event-ID so the daemon resumes past events
+// the client already processed.
+func (c *ServiceClient) watchStream(ctx context.Context, id, lastID string, idOut *string, last **JobStatus, onEvent func(event string, st *JobStatus)) (*JobStatus, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return nil, decodeServiceError(resp)
+		return nil, false, decodeServiceError(resp)
 	}
 	br := bufio.NewReader(resp.Body)
 	var event string
 	var data []byte
-	var last *JobStatus
+	alive := false
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil {
-			if ctx.Err() != nil {
-				return last, ctx.Err()
-			}
-			return last, fmt.Errorf("fedshap: event stream ended before a terminal event: %w", err)
+			return nil, alive, err
 		}
 		line = strings.TrimRight(line, "\r\n")
 		switch {
 		case line == "": // blank line terminates one SSE frame
 			if len(data) == 0 {
-				continue
+				continue // heartbeat comment or id-only frame
 			}
 			var st JobStatus
 			if json.Unmarshal(data, &st) == nil {
-				last = &st
+				*last = &st
+				alive = true
 				if onEvent != nil {
 					onEvent(event, &st)
 				}
 				if st.State.Terminal() {
-					return &st, nil
+					return &st, true, nil
 				}
 			}
 			event, data = "", nil
+		case strings.HasPrefix(line, ":"): // comment (heartbeat)
+			alive = true
+		case strings.HasPrefix(line, "id:"):
+			*idOut = strings.TrimSpace(strings.TrimPrefix(line, "id:"))
 		case strings.HasPrefix(line, "event:"):
 			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
 		case strings.HasPrefix(line, "data:"):

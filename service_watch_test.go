@@ -1,0 +1,85 @@
+package fedshap_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fedshap"
+)
+
+// TestWatchJobResumesWithLastEventID simulates a proxy that kills the SSE
+// stream after one event: WatchJob must reconnect with the Last-Event-ID
+// of the event it already processed, and the "daemon" resumes from there
+// instead of replaying the snapshot.
+func TestWatchJobResumesWithLastEventID(t *testing.T) {
+	var connections atomic.Int64
+	running := `{"id":"j1","state":"running","request":{"n":4},"fresh_evals":3,"submitted_at":"2026-01-01T00:00:00Z"}`
+	done := `{"id":"j1","state":"done","request":{"n":4},"fresh_evals":8,"submitted_at":"2026-01-01T00:00:00Z"}`
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j1/events" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch connections.Add(1) {
+		case 1:
+			// One running event plus a heartbeat, then the stream "dies".
+			fmt.Fprintf(w, "id: 41\nevent: running\ndata: %s\n\n: ping\n\n", running)
+		default:
+			// The resuming client must identify what it already saw.
+			if got := r.Header.Get("Last-Event-ID"); got != "41" {
+				t.Errorf("resume Last-Event-ID = %q, want 41", got)
+			}
+			fmt.Fprintf(w, "id: 42\nevent: done\ndata: %s\n\n", done)
+		}
+	}))
+	defer srv.Close()
+
+	var events []string
+	client := fedshap.NewServiceClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := client.WatchJob(ctx, "j1", func(event string, st *fedshap.JobStatus) {
+		events = append(events, event)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != fedshap.JobDone || st.FreshEvals != 8 {
+		t.Fatalf("final status = %+v, want done with 8 fresh evals", st)
+	}
+	if len(events) != 2 || events[0] != "running" || events[1] != "done" {
+		t.Errorf("observed events = %v, want [running done]", events)
+	}
+	if connections.Load() != 2 {
+		t.Errorf("client made %d connections, want 2 (one resume)", connections.Load())
+	}
+}
+
+// TestWatchJobGivesUpWithoutProgress: a stream that keeps dying without
+// delivering anything must surface an error (the polling fallback's cue)
+// instead of reconnecting forever.
+func TestWatchJobGivesUpWithoutProgress(t *testing.T) {
+	var connections atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		connections.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		// Headers out, then die: an accepted stream that never delivers.
+	}))
+	defer srv.Close()
+
+	client := fedshap.NewServiceClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := client.WatchJob(ctx, "j1", nil); err == nil {
+		t.Fatal("WatchJob returned nil error on a stream that never delivers")
+	}
+	if n := connections.Load(); n < 2 || n > 5 {
+		t.Errorf("client made %d connections, want a few bounded retries", n)
+	}
+}
