@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -65,6 +66,7 @@ func main() {
 		compare      = flag.Bool("compare", false, "also compute exact values and report the l2 error (2^n trainings)")
 		jsonOut      = flag.Bool("json", false, "emit the result as JSON")
 		server       = flag.String("server", "", "fedvald base URL; when set, run the job remotely instead of locally")
+		showTrace    = flag.Bool("trace", false, "in -server mode, fetch the job's trace timeline after it finishes and print it to stderr")
 		poll         = flag.Duration("poll", 300*time.Millisecond, "polling-fallback interval in -server mode (progress normally streams over server-sent events)")
 		workers      = flag.Int("workers", 0, "concurrent coalition evaluations in -server mode (0 = daemon default)")
 		evalWorkers  = flag.Int("eval-workers", 1, "concurrent coalition evaluations in local mode: the algorithm's deterministic sampling plan is trained on this many workers, bit-identically to serial (0 = all cores, 1 = serial)")
@@ -91,7 +93,7 @@ func main() {
 			Seed:      *seed,
 			Scale:     *scaleName,
 			Workers:   *workers,
-		}, *jsonOut, *poll)
+		}, *jsonOut, *showTrace, *poll)
 		return
 	}
 
@@ -180,7 +182,7 @@ func main() {
 // stream is unavailable (older daemon, proxy in the way) the client falls
 // back to polling at the -poll interval. Ctrl-C cancels the remote job
 // before exiting.
-func runRemote(server string, req fedshap.JobRequest, jsonOut bool, poll time.Duration) {
+func runRemote(server string, req fedshap.JobRequest, jsonOut, showTrace bool, poll time.Duration) {
 	client := fedshap.NewServiceClient(server)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -221,6 +223,19 @@ func runRemote(server string, req fedshap.JobRequest, jsonOut bool, poll time.Du
 		}
 		fatal(err)
 	}
+	if showTrace {
+		// Fetch before judging the terminal state, so a failed or
+		// cancelled job's timeline still prints — that is when it is most
+		// wanted.
+		tctx, tcancel := context.WithTimeout(context.Background(), 3*time.Second)
+		tr, terr := client.Trace(tctx, jobID)
+		tcancel()
+		if terr != nil {
+			fmt.Fprintf(os.Stderr, "fedval: trace unavailable: %v\n", terr)
+		} else {
+			printTrace(tr)
+		}
+	}
 	switch st.State {
 	case fedshap.JobDone:
 	case fedshap.JobCancelled:
@@ -253,6 +268,37 @@ func runRemote(server string, req fedshap.JobRequest, jsonOut bool, poll time.Du
 	fmt.Printf("%-10s %12s\n", "client", "value")
 	for i, v := range rep.Values {
 		fmt.Printf("%-10s %12.4f\n", rep.Names[i], v)
+	}
+}
+
+// printTrace renders a job's trace timeline to stderr: one line per span,
+// offset from the first recorded span, with its source and attributes.
+// Worker-side dispatch spans show up under the worker's name, so the
+// split between daemon phases and fleet work is visible at a glance.
+func printTrace(tr *fedshap.JobTrace) {
+	fmt.Fprintf(os.Stderr, "fedval: trace for %s (%s, %d spans)\n", tr.JobID, tr.State, len(tr.Spans))
+	if len(tr.Spans) == 0 {
+		fmt.Fprintln(os.Stderr, "fedval:   no spans recorded (job predates this daemon life)")
+		return
+	}
+	base := tr.Spans[0].Start
+	for _, sp := range tr.Spans {
+		dur := "     open"
+		if sp.End != nil {
+			dur = fmt.Sprintf("%8.3fs", sp.DurationSeconds)
+		}
+		line := fmt.Sprintf("  +%8.3fs %s %-14s %s", sp.Start.Sub(base).Seconds(), dur, sp.Name, sp.Source)
+		if len(sp.Attrs) > 0 {
+			keys := make([]string, 0, len(sp.Attrs))
+			for k := range sp.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				line += fmt.Sprintf(" %s=%s", k, sp.Attrs[k])
+			}
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 }
 

@@ -27,7 +27,12 @@
 //	fedvald -addr 127.0.0.1:8787 -worker-addr 10.0.0.5:8788
 //
 // GET /metrics exposes queue depth, cache hit ratio, journal size and the
-// fleet's per-worker scheduler state for dashboards and alerting.
+// fleet's per-worker scheduler state for dashboards and alerting — as JSON
+// by default, or Prometheus text exposition with Accept: text/plain (or
+// ?format=prometheus). -pprof starts a separate diagnostics listener with
+// /debug/pprof/ and the same Prometheus /metrics; -log-level and
+// -log-format configure structured job-lifecycle logs on stderr. See the
+// Monitoring section of OPERATIONS.md.
 //
 // Submit and track jobs with `fedval -server http://127.0.0.1:8787 ...` or
 // plain HTTP:
@@ -50,6 +55,7 @@ import (
 	"time"
 
 	"fedshap/internal/evalnet"
+	"fedshap/internal/obs"
 	"fedshap/internal/valserve"
 )
 
@@ -67,8 +73,13 @@ func main() {
 		speculate    = flag.Bool("speculate", true, "speculatively re-dispatch stragglers' in-flight coalitions to idle workers near job end (first result wins; values and budgets unchanged)")
 		compactEvery = flag.Duration("compact-every", 0, "background store+journal compaction interval, e.g. 1h (0 compacts only at startup and shutdown; requires exclusive ownership of the cache directory)")
 		sseHeartbeat = flag.Duration("sse-heartbeat", 15*time.Second, "idle heartbeat interval on SSE event streams so proxies keep them open (negative disables)")
+		pprofAddr    = flag.String("pprof", "", "diagnostics listener address serving /debug/pprof/ and Prometheus /metrics, kept off the API port (empty disables)")
+		logLevel     = flag.String("log-level", "info", "structured log level: debug, info, warn or error (debug includes per-evaluation job progress)")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 
 	var coord *evalnet.Coordinator
 	if *workerAddr != "" {
@@ -76,7 +87,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		coord = evalnet.NewCoordinatorWith(evalnet.SchedulerConfig{DisableSpeculation: !*speculate})
+		coord = evalnet.NewCoordinatorWith(evalnet.SchedulerConfig{
+			DisableSpeculation: !*speculate,
+			Logger:             logger,
+		})
 		go func() { _ = coord.Serve(wln) }()
 		fmt.Fprintf(os.Stderr, "fedvald: accepting evaluation workers on %s\n", wln.Addr())
 	}
@@ -92,9 +106,19 @@ func main() {
 		CompactEvery: *compactEvery,
 		SSEHeartbeat: *sseHeartbeat,
 		Coordinator:  coord,
+		Logger:       logger,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		dbg, err := obs.ServeDebug(*pprofAddr, mgr.Registry())
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "fedvald: diagnostics on http://%s/debug/pprof/\n", dbg.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

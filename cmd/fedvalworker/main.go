@@ -13,7 +13,10 @@
 //	fedvalworker -coordinator 10.0.0.5:8788 -capacity 4 -name rack1-a
 //
 // The worker reconnects with backoff when the coordinator restarts, and
-// exits cleanly on SIGINT/SIGTERM.
+// exits cleanly on SIGINT/SIGTERM. -pprof starts a diagnostics listener
+// with /debug/pprof/ and a Prometheus /metrics exposing the worker's
+// evaluation counts (by outcome) and latency histogram; -log-level and
+// -log-format configure structured connection/spec logs on stderr.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"fedshap/internal/evalnet"
+	"fedshap/internal/obs"
 	"fedshap/internal/valserve"
 )
 
@@ -38,6 +42,9 @@ func main() {
 		name         = flag.String("name", "", "worker name in the fleet listing (default: hostname)")
 		retry        = flag.Duration("retry", 2*time.Second, "reconnect backoff after a lost coordinator")
 		warm         = flag.Bool("warm", true, "apply coordinator-shipped warm-start utilities instead of retraining them (disable only for debugging)")
+		pprofAddr    = flag.String("pprof", "", "diagnostics listener address serving /debug/pprof/ and Prometheus /metrics (empty disables)")
+		logLevel     = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
 
@@ -56,11 +63,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	tel := valserve.NewWorkerTelemetry()
+	if *pprofAddr != "" {
+		dbg, err := obs.ServeDebug(*pprofAddr, tel.Registry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedvalworker:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "fedvalworker: diagnostics on http://%s/debug/pprof/\n", dbg.Addr())
+	}
+
 	w := &evalnet.Worker{
 		Name:             *name,
 		Capacity:         cap,
 		Build:            valserve.WorkerEvaluatorWith(*trainWorkers),
 		DisableWarmStart: !*warm,
+		Observe:          tel.Observe,
+		Logger:           obs.NewLogger(os.Stderr, *logLevel, *logFormat),
 	}
 	fmt.Fprintf(os.Stderr, "fedvalworker: %s (capacity %d) dialling %s\n", *name, cap, *coordinator)
 	for {

@@ -4,14 +4,19 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"io"
+	"log/slog"
+	"math"
 	"net"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"fedshap"
 	"fedshap/internal/combin"
+	"fedshap/internal/obs"
 	"fedshap/internal/utility"
 )
 
@@ -37,6 +42,10 @@ type SchedulerConfig struct {
 	// SpeculateTick is how often the coordinator scans for stragglers
 	// while idle capacity exists (default 25ms).
 	SpeculateTick time.Duration
+	// Logger receives structured fleet lifecycle logs (worker attach and
+	// loss, straggler re-dispatch) with worker/job correlation attributes;
+	// nil discards them.
+	Logger *slog.Logger
 }
 
 func (sc *SchedulerConfig) fillDefaults() {
@@ -71,8 +80,12 @@ type Coordinator struct {
 
 	// redispatches counts speculative task copies dispatched; wins counts
 	// the copies that beat the original assignment to the result.
+	// requeues counts tasks re-dispatched because their worker died.
 	redispatches int64
 	wins         int64
+	requeues     int64
+
+	logger *slog.Logger
 
 	specStop chan struct{}
 	specDone chan struct{}
@@ -172,9 +185,14 @@ func NewCoordinator() *Coordinator {
 // NewCoordinatorWith builds a coordinator with explicit scheduler tuning.
 func NewCoordinatorWith(sched SchedulerConfig) *Coordinator {
 	sched.fillDefaults()
+	logger := sched.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	c := &Coordinator{
 		sched:   sched,
 		workers: make(map[int]*remoteWorker),
+		logger:  logger,
 	}
 	if !sched.DisableSpeculation {
 		c.specStop = make(chan struct{})
@@ -264,6 +282,7 @@ func (c *Coordinator) Attach(conn net.Conn) error {
 	// the next speculateLoop tick can hand it a straggler's task.
 	c.dispatchLocked()
 	c.mu.Unlock()
+	c.logger.Info("worker attached", "worker", w.name, "id", w.id, "addr", w.addr, "capacity", w.capacity)
 
 	go c.writeLoop(w, enc)
 	c.readLoop(w, dec)
@@ -324,10 +343,30 @@ func (c *Coordinator) completeTask(w *remoteWorker, res resultMsg) {
 	c.mu.Lock()
 	t, ok := w.inflight[res.TaskID]
 	var deliver taskResult
+	var observeRemote float64 // >0: report to the session's Observe hook after unlock
+	var observeFn func(string, float64)
 	if ok {
+		if a := t.session.agg[w.id]; a != nil {
+			// Every answered assignment counts toward the worker's dispatch
+			// span — including superseded duplicates, which were real work on
+			// that machine even though their result is discarded below.
+			a.tasks++
+			a.last = time.Now().UTC()
+			a.evalNanos += res.Nanos
+			switch {
+			case res.Err != "":
+				a.failed++
+			case res.Warm:
+				a.warm++
+			default:
+				a.fresh++
+			}
+		}
 		delete(w.inflight, res.TaskID)
+		var dispatchLat time.Duration
 		if startedAt, has := w.started[res.TaskID]; has {
 			delete(w.started, res.TaskID)
+			dispatchLat = time.Since(startedAt)
 			// Losing duplicates update the EWMA too: the straggler's
 			// large sample is exactly the signal the scheduler needs.
 			// Warm cache hits don't — they measure nothing about this
@@ -335,7 +374,7 @@ func (c *Coordinator) completeTask(w *remoteWorker, res resultMsg) {
 			// drag the EWMA so low that every real training reads as a
 			// straggler and gets pointlessly duplicated.
 			if res.Err == "" && !res.Warm {
-				w.observeLatencyLocked(time.Since(startedAt))
+				w.observeLatencyLocked(dispatchLat)
 			}
 		}
 		t.dropHolder(w.id)
@@ -351,6 +390,9 @@ func (c *Coordinator) completeTask(w *remoteWorker, res resultMsg) {
 				c.wins++ // the speculative copy beat the original
 			}
 			deliver = taskResult{u: res.U}
+			if t.session.observe != nil && dispatchLat > 0 {
+				observeFn, observeRemote = t.session.observe, dispatchLat.Seconds()
+			}
 		case len(t.holders) > 0:
 			// This copy failed but a twin is still evaluating; let it
 			// answer instead of falling back to local training. If the
@@ -370,6 +412,9 @@ func (c *Coordinator) completeTask(w *remoteWorker, res resultMsg) {
 		c.dispatchLocked()
 	}
 	c.mu.Unlock()
+	if observeFn != nil {
+		observeFn("remote", observeRemote)
+	}
 	if !ok {
 		return // stale or superseded: another copy owns the answer
 	}
@@ -421,6 +466,17 @@ func (c *Coordinator) removeWorker(w *remoteWorker) {
 	}
 	w.inflight = make(map[uint64]*task)
 	w.started = make(map[uint64]time.Time)
+	c.requeues += int64(len(orphans))
+	// One redispatch event per affected session, so a job trace shows the
+	// death that rerouted its work without a span per orphaned coalition.
+	perSession := make(map[*Session]int)
+	for _, t := range orphans {
+		perSession[t.session]++
+	}
+	for s, n := range perSession {
+		s.trace.Event("redispatch", "daemon",
+			"reason", "worker-death", "worker", w.name, "tasks", strconv.Itoa(n))
+	}
 	// Requeue in assignment order for determinism of the retry schedule.
 	sort.Slice(orphans, func(a, b int) bool { return orphans[a].id < orphans[b].id })
 	c.pending = append(orphans, c.pending...)
@@ -428,6 +484,7 @@ func (c *Coordinator) removeWorker(w *remoteWorker) {
 	w.outCond.Broadcast() // release the writer
 	c.mu.Unlock()
 	w.conn.Close()
+	c.logger.Warn("worker lost", "worker", w.name, "id", w.id, "requeued", len(orphans))
 }
 
 // assignLocked records one task's assignment to a worker, shipping the
@@ -447,6 +504,13 @@ func (c *Coordinator) assignLocked(w *remoteWorker, t *task) {
 	w.inflight[t.id] = t
 	w.started[t.id] = time.Now()
 	t.holders = append(t.holders, w.id)
+	if t.session.agg != nil {
+		a := t.session.agg[w.id]
+		if a == nil {
+			a = &dispatchStats{name: w.name, first: time.Now().UTC()}
+			t.session.agg[w.id] = a
+		}
+	}
 }
 
 // batchKey groups task assignments headed for one (worker, spec) pair.
@@ -579,11 +643,23 @@ func (c *Coordinator) speculateLocked() {
 			unrelievable[victim] = true
 			continue
 		}
+		from := ""
+		if holder := c.workers[victim.holders[0]]; holder != nil {
+			from = holder.name
+		}
 		victim.speculated = true
 		victim.specWorker = dst.id
 		dst.redispatched++
 		c.redispatches++
+		victim.session.trace.Event("redispatch", "daemon",
+			"reason", "straggler", "from", from, "to", dst.name,
+			"age_seconds", strconv.FormatFloat(age.Seconds(), 'g', 4, 64))
+		c.logger.Debug("straggler re-dispatched",
+			"job", victim.session.spec.ID, "from", from, "to", dst.name, "age", age)
 		c.assignLocked(dst, victim)
+		if a := victim.session.agg[dst.id]; a != nil {
+			a.speculative++
+		}
 		b.add(dst, victim)
 	}
 	b.flushLocked(c)
@@ -705,7 +781,46 @@ func (c *Coordinator) Stats() fedshap.FleetMetrics {
 		PendingTasks:   len(c.pending),
 		Redispatches:   c.redispatches,
 		RedispatchWins: c.wins,
+		Requeues:       c.requeues,
 	}
+}
+
+// WantedWorkers estimates the fleet size needed to drain the current
+// evaluation backlog within the target window — the autoscaling signal
+// behind the fedvald_fleet_wanted_workers gauge. The backlog's expected
+// compute is (pending + in-flight tasks) × the fleet's EWMA evaluation
+// latency; dividing by the window and the mean per-worker capacity yields
+// a worker count. With no latency history yet the current fleet size is
+// returned (no evidence to scale on); an empty backlog wants zero.
+func (c *Coordinator) WantedWorkers(target time.Duration) int {
+	if target <= 0 {
+		target = 30 * time.Second
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	backlog := len(c.pending)
+	for _, w := range c.workers {
+		backlog += len(w.inflight)
+	}
+	if backlog == 0 {
+		return 0
+	}
+	ewma := c.fleetEWMALocked()
+	if ewma <= 0 {
+		if n := len(c.workers); n > 0 {
+			return n
+		}
+		return 1
+	}
+	meanCap := 1.0
+	if n := len(c.workers); n > 0 {
+		meanCap = float64(c.totalCapacityLocked()) / float64(n)
+	}
+	wanted := int(math.Ceil(float64(backlog) * ewma / float64(target) / meanCap))
+	if wanted < 1 {
+		wanted = 1
+	}
+	return wanted
 }
 
 // Close shuts the coordinator down: the listener stops accepting, the
@@ -759,9 +874,30 @@ type Session struct {
 	// training on this machine at once.
 	localSem chan struct{}
 
+	// observe and trace are the job's telemetry hooks (see SessionConfig).
+	observe func(source string, seconds float64)
+	trace   *obs.Trace
+	// agg accumulates one dispatch span per worker that served this
+	// session, flushed into trace at Close. Guarded by c.mu.
+	agg map[int]*dispatchStats
+
 	// closed is guarded by c.mu.
 	closed bool
 	stop   chan struct{}
+}
+
+// dispatchStats is a session's running aggregate of one worker's service:
+// it materialises as a per-worker "dispatch" span in the job trace, with
+// the worker-reported evaluation time merged in from result messages.
+type dispatchStats struct {
+	name        string
+	first, last time.Time
+	tasks       int64
+	warm        int64
+	fresh       int64
+	failed      int64
+	speculative int64
+	evalNanos   int64
 }
 
 // SessionConfig configures one job's fleet session.
@@ -780,6 +916,17 @@ type SessionConfig struct {
 	// at the moment its first task of this spec is dispatched, so a
 	// recycled fleet never retrains what the daemon already knows.
 	WarmSnapshot func() map[combin.Coalition]float64
+	// Observe, when set, receives the coordinator-measured latency of
+	// every fleet-served result under source "remote" — the service's
+	// eval-latency-by-source histograms hang off it. Called outside the
+	// scheduler lock.
+	Observe func(source string, seconds float64)
+	// Trace, when set, collects the job's fleet-side spans: one
+	// per-worker dispatch span (task counts by warm/fresh/speculative
+	// outcome plus worker-reported evaluation seconds, flushed at Close)
+	// and instant redispatch events with their reason (worker-death or
+	// straggler).
+	Trace *obs.Trace
 }
 
 // NewSession registers a job with the coordinator without warm-start; see
@@ -802,8 +949,13 @@ func (c *Coordinator) NewSessionWith(ctx context.Context, cfg SessionConfig) *Se
 	}
 	s := &Session{
 		c: c, spec: cfg.Spec, ctx: ctx, local: cfg.Local, warm: cfg.WarmSnapshot,
+		observe:  cfg.Observe,
+		trace:    cfg.Trace,
 		localSem: make(chan struct{}, localLimit),
 		stop:     make(chan struct{}),
+	}
+	if s.trace != nil {
+		s.agg = make(map[int]*dispatchStats)
 	}
 	// Push cancellation to the fleet as soon as it happens, not just when
 	// the job's deferred Close runs: workers then skip the spec's queued
@@ -939,5 +1091,28 @@ func (s *Session) Close() {
 			w.outCond.Signal()
 		}
 	}
+	agg := s.agg
+	s.agg = nil
 	s.c.mu.Unlock()
+
+	// Materialise the per-worker dispatch spans: one per worker that served
+	// this job, carrying the worker-reported evaluation time merged from
+	// its result messages. Done after unlock — the trace has its own lock.
+	for _, a := range agg {
+		end := a.last
+		if end.IsZero() {
+			end = a.first // assigned but never answered (e.g. worker died)
+		}
+		s.trace.Add(obs.Span{
+			Name: "dispatch", Source: a.name, Start: a.first, End: end,
+			Attrs: map[string]string{
+				"tasks":        strconv.FormatInt(a.tasks, 10),
+				"fresh":        strconv.FormatInt(a.fresh, 10),
+				"warm":         strconv.FormatInt(a.warm, 10),
+				"failed":       strconv.FormatInt(a.failed, 10),
+				"speculative":  strconv.FormatInt(a.speculative, 10),
+				"eval_seconds": strconv.FormatFloat(time.Duration(a.evalNanos).Seconds(), 'g', 6, 64),
+			},
+		})
+	}
 }

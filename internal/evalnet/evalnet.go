@@ -54,8 +54,9 @@ import (
 )
 
 // protoVersion guards against mismatched coordinator/worker builds.
-// Version 2 added warm-start utilities on the spec message.
-const protoVersion = 2
+// Version 2 added warm-start utilities on the spec message; version 3
+// added the worker-side evaluation duration on the result message.
+const protoVersion = 3
 
 // ProblemSpec identifies one job's valuation problem to a worker. Request
 // fully determines the problem (datasets, model, FL config are all derived
@@ -124,6 +125,11 @@ type resultMsg struct {
 	U      float64
 	Warm   bool
 	Err    string
+	// Nanos is the worker-side wall time spent producing the utility. A
+	// duration rather than timestamps, so coordinator/worker clock skew
+	// never corrupts the merged job trace; the coordinator folds it into
+	// the job's per-worker dispatch spans.
+	Nanos int64
 }
 
 // cancelMsg tells a worker to drop a spec: skip its queued tasks and free

@@ -4,10 +4,13 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fedshap/internal/combin"
 	"fedshap/internal/utility"
@@ -50,6 +53,21 @@ type Worker struct {
 	// applying them — every assigned coalition is then trained locally
 	// (fedvalworker -warm=false; mainly for debugging and benchmarks).
 	DisableWarmStart bool
+	// Observe, when non-nil, is invoked after every answered assignment
+	// with its outcome ("fresh", "warm" or "error") and wall time — the
+	// seam cmd/fedvalworker's fedvalworker_* metric series hang off.
+	Observe func(outcome string, seconds float64)
+	// Logger receives structured connection/spec lifecycle logs; nil
+	// discards them.
+	Logger *slog.Logger
+}
+
+// logger resolves the configured logger.
+func (w *Worker) logger() *slog.Logger {
+	if w.Logger != nil {
+		return w.Logger
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
 // build resolves the configured builder.
@@ -100,6 +118,9 @@ func (w *Worker) Serve(ctx context.Context, conn net.Conn) error {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
+	log := w.logger().With("worker", w.Name, "coordinator", conn.RemoteAddr().String())
+	log.Info("connected", "capacity", capacity)
+
 	var sendMu sync.Mutex
 	send := func(e envelope) {
 		sendMu.Lock()
@@ -130,6 +151,7 @@ func (w *Worker) Serve(ctx context.Context, conn net.Conn) error {
 					}
 				}
 				specs[e.Spec.Spec.ID] = ws
+				log.Info("spec received", "job", e.Spec.Spec.ID, "warm", len(e.Spec.Warm))
 			}
 		case e.Cancel != nil:
 			// Mark, then drop: in-flight goroutines still hold the pointer
@@ -164,10 +186,22 @@ func (w *Worker) Serve(ctx context.Context, conn net.Conn) error {
 // cache without training.
 func (w *Worker) run(ws *workerSpec, specID string, tw taskWire) (res *resultMsg) {
 	res = &resultMsg{SpecID: specID, TaskID: tw.ID, Lo: tw.Lo, Hi: tw.Hi}
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			res.U = 0
 			res.Err = fmt.Sprintf("evaluation panic: %v", r)
+		}
+		res.Nanos = time.Since(start).Nanoseconds()
+		if w.Observe != nil {
+			outcome := "fresh"
+			switch {
+			case res.Err != "":
+				outcome = "error"
+			case res.Warm:
+				outcome = "warm"
+			}
+			w.Observe(outcome, time.Since(start).Seconds())
 		}
 	}()
 	if ws == nil {

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is the optional diagnostics listener a daemon mounts away
+// from its service port (the -pprof flag on fedvald and fedvalworker): it
+// serves net/http/pprof under /debug/pprof/ and, when a registry is
+// given, Prometheus text exposition on /metrics. Keeping it on its own
+// listener means profiling endpoints are never reachable through the
+// public API address.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the diagnostics listener on addr. reg may be nil (no
+// /metrics route). The server runs until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WriteText(w)
+		})
+	}
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listener address.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// NopLogger returns a logger that discards everything — the default for
+// library components whose caller did not configure logging, so
+// instrumented code paths never nil-check their logger.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// NewLogger builds a structured logger at the given level ("debug",
+// "info", "warn", "error"; anything else means info) and format ("json"
+// selects JSON lines; anything else text) writing to w — the shared
+// configuration surface for the daemons' -log-level/-log-format flags.
+func NewLogger(w io.Writer, level, format string) *slog.Logger {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one step of a job's lifecycle: a named interval with a source
+// (the daemon, or a worker's name) and free-form string attributes. An
+// instant event is a span whose End equals its Start; a span still open
+// when the trace is snapshotted has a zero End.
+type Span struct {
+	Name   string
+	Source string
+	Start  time.Time
+	End    time.Time
+	Attrs  map[string]string
+}
+
+// Duration returns the span's length, or zero while it is open.
+func (s Span) Duration() time.Duration {
+	if s.End.IsZero() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Trace records the spans of one job. It is safe for concurrent use, and
+// every method is a no-op on a nil *Trace, so instrumentation points never
+// branch on whether tracing is enabled.
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// StartSpan opens a span now and returns a handle to close it. The handle
+// is nil-safe like the trace itself.
+func (t *Trace) StartSpan(name, source string) *SpanHandle {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, Span{Name: name, Source: source, Start: time.Now().UTC()})
+	return &SpanHandle{t: t, idx: len(t.spans) - 1}
+}
+
+// Event records an instant span with optional "key", "value" attribute
+// pairs.
+func (t *Trace) Event(name, source string, attrs ...string) {
+	if t == nil {
+		return
+	}
+	now := time.Now().UTC()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, Span{Name: name, Source: source, Start: now, End: now, Attrs: attrMap(attrs)})
+}
+
+// Add appends an externally built span — the merge point for spans
+// assembled from worker-reported durations.
+func (t *Trace) Add(sp Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, sp)
+}
+
+// Snapshot returns a copy of the recorded spans ordered by start time
+// (ties keep record order), safe to serialize while the job still runs.
+func (t *Trace) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	for i, sp := range t.spans {
+		out[i] = sp
+		if sp.Attrs != nil {
+			m := make(map[string]string, len(sp.Attrs))
+			for k, v := range sp.Attrs {
+				m[k] = v
+			}
+			out[i].Attrs = m
+		}
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// SpanHandle closes or annotates a span opened by StartSpan.
+type SpanHandle struct {
+	t   *Trace
+	idx int
+}
+
+// SetAttr sets one attribute on the span.
+func (h *SpanHandle) SetAttr(key, value string) {
+	if h == nil {
+		return
+	}
+	h.t.mu.Lock()
+	defer h.t.mu.Unlock()
+	sp := &h.t.spans[h.idx]
+	if sp.Attrs == nil {
+		sp.Attrs = make(map[string]string, 4)
+	}
+	sp.Attrs[key] = value
+}
+
+// SetInt sets one integer attribute on the span.
+func (h *SpanHandle) SetInt(key string, value int64) {
+	h.SetAttr(key, strconv.FormatInt(value, 10))
+}
+
+// End closes the span now. Ending twice keeps the first end time.
+func (h *SpanHandle) End() {
+	if h == nil {
+		return
+	}
+	h.t.mu.Lock()
+	defer h.t.mu.Unlock()
+	sp := &h.t.spans[h.idx]
+	if sp.End.IsZero() {
+		sp.End = time.Now().UTC()
+	}
+}
+
+// attrMap folds "key", "value" varargs into a map (nil when empty).
+func attrMap(kv []string) map[string]string {
+	if len(kv) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}

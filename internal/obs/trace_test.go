@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndEvents(t *testing.T) {
+	tr := NewTrace()
+	h := tr.StartSpan("queue", "daemon")
+	time.Sleep(time.Millisecond)
+	h.SetInt("depth", 3)
+	h.End()
+	tr.Event("redispatch", "daemon", "reason", "worker-death", "worker", "w1")
+	tr.Add(Span{Name: "dispatch", Source: "w1", Start: time.Now().Add(-time.Second).UTC(), End: time.Now().UTC()})
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Snapshot orders by start time: the worker span started earliest.
+	if spans[0].Name != "dispatch" {
+		t.Errorf("first span = %s, want dispatch (start-time order)", spans[0].Name)
+	}
+	var q, e *Span
+	for i := range spans {
+		switch spans[i].Name {
+		case "queue":
+			q = &spans[i]
+		case "redispatch":
+			e = &spans[i]
+		}
+	}
+	if q == nil || e == nil {
+		t.Fatalf("missing spans in %+v", spans)
+	}
+	if q.Duration() < time.Millisecond {
+		t.Errorf("queue span duration %v, want >= 1ms", q.Duration())
+	}
+	if q.Attrs["depth"] != "3" {
+		t.Errorf("queue attrs = %v", q.Attrs)
+	}
+	if e.Attrs["reason"] != "worker-death" || !e.End.Equal(e.Start) {
+		t.Errorf("event span = %+v", *e)
+	}
+}
+
+func TestTraceOpenSpan(t *testing.T) {
+	tr := NewTrace()
+	tr.StartSpan("prefetch", "daemon")
+	spans := tr.Snapshot()
+	if len(spans) != 1 || !spans[0].End.IsZero() || spans[0].Duration() != 0 {
+		t.Fatalf("open span snapshot = %+v", spans)
+	}
+}
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	h := tr.StartSpan("x", "daemon")
+	h.SetAttr("k", "v")
+	h.End()
+	tr.Event("y", "daemon")
+	tr.Add(Span{Name: "z"})
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil trace snapshot = %v, want nil", got)
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				h := tr.StartSpan("s", "daemon")
+				h.SetInt("j", int64(j))
+				h.End()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if n := len(tr.Snapshot()); n != 800 {
+		t.Fatalf("got %d spans, want 800", n)
+	}
+}

@@ -16,6 +16,7 @@ package utility
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"fedshap/internal/combin"
 	"fedshap/internal/dataset"
@@ -62,12 +63,13 @@ type Oracle struct {
 	// Entries inserted via Warm (e.g. from a persistent Store) are free.
 	evals atomic.Int64
 
-	// ctx, onEval and writeThrough are set before a run and read on the
-	// evaluation path; atomic.Value keeps them race-free against
+	// ctx, onEval, writeThrough and onHit are set before a run and read
+	// on the evaluation path; atomic.Value keeps them race-free against
 	// concurrent U calls from a prefetch pool.
 	ctx          atomic.Value // context.Context
 	onEval       atomic.Value // func(total int)
 	writeThrough atomic.Value // func(combin.Coalition, float64)
+	onHit        atomic.Value // func(seconds float64)
 }
 
 // NewOracle wraps an evaluation function for a federation of n clients.
@@ -109,6 +111,15 @@ func (o *Oracle) WriteThrough(fn func(s combin.Coalition, u float64)) {
 	o.writeThrough.Store(fn)
 }
 
+// OnCacheHit registers a hook invoked with the lookup latency of every
+// utility served from the cache — the telemetry seam behind the service's
+// eval-latency-by-source histograms (fresh evaluations are timed by the
+// caller around the eval function instead). With no hook installed the
+// hit path costs one extra atomic load.
+func (o *Oracle) OnCacheHit(fn func(seconds float64)) {
+	o.onHit.Store(fn)
+}
+
 func (o *Oracle) ctxErr() error {
 	if ctx, ok := o.ctx.Load().(context.Context); ok {
 		return ctx.Err()
@@ -119,7 +130,15 @@ func (o *Oracle) ctxErr() error {
 // U returns the utility of coalition s, evaluating and caching on first use.
 // If a bound context is done, a cache miss panics with *CancelError.
 func (o *Oracle) U(s combin.Coalition) float64 {
+	hit, _ := o.onHit.Load().(func(float64))
+	var start time.Time
+	if hit != nil {
+		start = time.Now()
+	}
 	if v, ok := o.cache.get(s); ok {
+		if hit != nil {
+			hit(time.Since(start).Seconds())
+		}
 		return v
 	}
 	if err := o.ctxErr(); err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"fedshap/internal/combin"
 )
@@ -108,14 +109,30 @@ func (o *Oracle) Prefetch(ctx context.Context, coalitions []combin.Coalition, wo
 	if workers > len(pending) {
 		workers = len(pending)
 	}
-	work := make(chan combin.Coalition)
-	go func() {
-		defer close(work)
-		for _, s := range pending {
-			work <- s
-		}
-	}()
-	return o.PrefetchStream(ctx, work, workers)
+	// The list is already deduplicated, so the pool can claim work with a
+	// bare atomic index instead of routing through PrefetchStream's channel
+	// and its second claim map — one training per entry is guaranteed by
+	// construction, and the fixed-list path stays allocation-lean (it is
+	// the inner loop of every warm-up in the service).
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pending) || ctx.Err() != nil {
+					return
+				}
+				o.safeU(pending[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // EvalBatch evaluates the given coalitions concurrently (see Prefetch for

@@ -247,6 +247,48 @@ func TestDistributedWorkerKillRequeue(t *testing.T) {
 	if coord.WorkerCount() != 1 {
 		t.Errorf("fleet size after kill = %d, want 1", coord.WorkerCount())
 	}
+
+	// The job's trace must record the requeue: a redispatch event with
+	// reason worker-death naming the dead worker, plus per-worker dispatch
+	// spans for both fleet members. Dispatch spans flush when the job's
+	// session closes — just after the terminal state becomes visible — so
+	// poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	var redispatch, dispatches int
+	for time.Now().Before(deadline) {
+		tr, err := m.Trace(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		redispatch, dispatches = 0, 0
+		for _, sp := range tr.Spans {
+			switch sp.Name {
+			case "redispatch":
+				if sp.Attrs["reason"] == "worker-death" && sp.Attrs["worker"] == "victim" {
+					redispatch++
+				}
+			case "dispatch":
+				dispatches++
+			}
+		}
+		if redispatch > 0 && dispatches == 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if redispatch == 0 {
+		t.Error("trace has no redispatch span with reason=worker-death for the killed worker")
+	}
+	if dispatches != 2 {
+		t.Errorf("trace has %d dispatch spans, want one per fleet worker (2)", dispatches)
+	}
+
+	// And the scrape shows the same event: the worker-death redispatch
+	// counter is nonzero on the Prometheus endpoint.
+	samples := scrapeProm(t, NewHandler(m))
+	if got := samples[`fedvald_fleet_redispatch_total{reason="worker-death"}`]; got == 0 {
+		t.Error(`scrape: fedvald_fleet_redispatch_total{reason="worker-death"} = 0 after a worker kill`)
+	}
 }
 
 // TestDistributedStragglerRedispatch is the adaptive-scheduler acceptance

@@ -62,6 +62,18 @@ func newEventHub() *eventHub {
 	}
 }
 
+// subscriberCount reports the number of live subscriptions across all
+// jobs, for the fedvald_sse_subscribers gauge.
+func (h *eventHub) subscriberCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, m := range h.subs {
+		n += len(m)
+	}
+	return n
+}
+
 // watch registers a subscriber for job id and seeds it with the snapshot
 // current() returns — atomically with respect to publishes, so no
 // transition can fall between the snapshot and the registration. If the

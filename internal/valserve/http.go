@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"fedshap"
@@ -15,13 +16,15 @@ import (
 // NewHandler exposes a Manager as the fedvald JSON API:
 //
 //	POST   /v1/jobs             submit a job (fedshap.JobRequest → JobStatus)
-//	GET    /v1/jobs             list jobs, newest first
+//	GET    /v1/jobs             list jobs, newest first (?since=, ?limit= paginate)
 //	GET    /v1/jobs/{id}        poll one job's status and progress
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events stream job events (Server-Sent Events)
 //	GET    /v1/jobs/{id}/report fetch a finished job's valuation report
+//	GET    /v1/jobs/{id}/trace  fetch a job's trace timeline (spans)
 //	GET    /v1/workers          list attached remote evaluation workers
-//	GET    /metrics             operational snapshot (queue, cache, fleet)
+//	GET    /metrics             operational snapshot (JSON; Prometheus text
+//	                            with Accept: text/plain or ?format=prometheus)
 //	GET    /healthz             liveness probe
 //
 // Errors are returned as {"error": "..."} with a matching status code.
@@ -32,6 +35,16 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Content negotiation: the JSON snapshot stays the default for
+		// humans and the CLI; a Prometheus scraper gets the text
+		// exposition format by Accept header or explicit query.
+		if r.URL.Query().Get("format") == "prometheus" ||
+			strings.Contains(r.Header.Get("Accept"), "text/plain") {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			_ = m.Registry().WriteText(w)
+			return
+		}
 		writeJSON(w, http.StatusOK, m.Metrics())
 	})
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -55,7 +68,22 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusAccepted, st)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.List())
+		q := r.URL.Query()
+		limit := 0
+		if raw := q.Get("limit"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "invalid limit: "+raw)
+				return
+			}
+			limit = n
+		}
+		jobs, err := m.ListSince(q.Get("since"), limit)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, jobs)
 	})
 	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Workers())
@@ -149,6 +177,14 @@ func NewHandler(m *Manager) http.Handler {
 				fl.Flush()
 			}
 		}
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		tr, err := m.Trace(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, tr)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
 		st, err := m.Get(r.PathValue("id"))

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -18,6 +19,7 @@ import (
 	"fedshap/internal/combin"
 	"fedshap/internal/evalnet"
 	"fedshap/internal/experiments"
+	"fedshap/internal/obs"
 	"fedshap/internal/shapley"
 	"fedshap/internal/utility"
 )
@@ -81,6 +83,10 @@ type Config struct {
 	// across its remote worker fleet (cmd/fedvalworker daemons). Jobs fall
 	// back to in-process evaluation while no workers are attached.
 	Coordinator *evalnet.Coordinator
+	// Logger receives structured job-lifecycle logs (submissions,
+	// transitions, terminal outcomes) with job-ID correlation; nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Job is one tracked valuation job. All mutation goes through its methods;
@@ -93,6 +99,18 @@ type Job struct {
 	// journal and the event hub. Set once, before the job is visible to
 	// workers or watchers; nil in bare tests.
 	notify func(event string, st *fedshap.JobStatus)
+
+	// tel is the manager's instrument set and trace the job's span
+	// timeline (GET /v1/jobs/{id}/trace); both nil in bare tests, and
+	// trace nil for terminal jobs restored from a previous life's
+	// journal. queueSpan is the open queue-wait span between enqueue and
+	// pickup; enqueuedAt anchors the queue-wait and end-to-end duration
+	// histograms to *this* life's enqueue time, so a job requeued by
+	// crash recovery doesn't report its pre-crash age as queue wait.
+	tel        *telemetry
+	trace      *obs.Trace
+	queueSpan  *obs.SpanHandle
+	enqueuedAt time.Time
 
 	// emitMu serialises [mutate status + emit event] as one unit, so
 	// journal records and hub events are appended in the same order the
@@ -153,6 +171,7 @@ func (j *Job) markRunning() bool {
 		j.status.FinishedAt = &now
 		st := j.snapshotLocked()
 		j.mu.Unlock()
+		j.observeTerminal(fedshap.JobCancelled, now)
 		j.emit(EventCancelled, st)
 		return false
 	}
@@ -160,8 +179,35 @@ func (j *Job) markRunning() bool {
 	j.status.StartedAt = &now
 	st := j.snapshotLocked()
 	j.mu.Unlock()
+	j.queueSpan.End()
+	if j.tel != nil && !j.enqueuedAt.IsZero() {
+		j.tel.queueWait.Observe(now.Sub(j.enqueuedAt).Seconds())
+	}
 	j.emit(EventRunning, st)
 	return true
+}
+
+// observeTerminal feeds a terminal transition into telemetry: the
+// trailing trace event, the completion counter for the outcome, and the
+// end-to-end duration histogram. Called once per terminal transition,
+// after j.mu is released.
+func (j *Job) observeTerminal(state fedshap.JobState, now time.Time) {
+	j.queueSpan.End()
+	j.trace.Event("report", "daemon", "state", string(state))
+	if j.tel == nil {
+		return
+	}
+	switch state {
+	case fedshap.JobDone:
+		j.tel.jobsDone.Inc()
+	case fedshap.JobFailed:
+		j.tel.jobsFailed.Inc()
+	case fedshap.JobCancelled:
+		j.tel.jobsCancelled.Inc()
+	}
+	if !j.enqueuedAt.IsZero() {
+		j.tel.jobDuration.Observe(now.Sub(j.enqueuedAt).Seconds())
+	}
 }
 
 // setFresh records progress from the oracle's evaluation hook; the counter
@@ -174,9 +220,13 @@ func (j *Job) setFresh(total int) {
 		j.mu.Unlock()
 		return
 	}
+	delta := total - j.status.FreshEvals
 	j.status.FreshEvals = total
 	st := j.snapshotLocked()
 	j.mu.Unlock()
+	if j.tel != nil {
+		j.tel.evalsFresh.Add(int64(delta))
+	}
 	j.emit(EventProgress, st)
 }
 
@@ -184,6 +234,9 @@ func (j *Job) setWarmed(n int) {
 	j.mu.Lock()
 	j.status.WarmedCoalitions = n
 	j.mu.Unlock()
+	if j.tel != nil {
+		j.tel.evalsWarmed.Add(int64(n))
+	}
 }
 
 func (j *Job) setProblem(name string) {
@@ -214,6 +267,7 @@ func (j *Job) finish(state fedshap.JobState, errMsg string, report *fedshap.Repo
 	j.status.FinishedAt = &now
 	st := j.snapshotLocked()
 	j.mu.Unlock()
+	j.observeTerminal(state, now)
 	j.emit(eventTypeForState(state), st)
 }
 
@@ -234,6 +288,8 @@ type Manager struct {
 	store       *utility.Store
 	journal     *Journal
 	hub         *eventHub
+	tel         *telemetry
+	logger      *slog.Logger
 	queue       chan *Job
 	wg          sync.WaitGroup
 	gcStop      chan struct{}
@@ -275,10 +331,18 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	m := &Manager{
-		cfg:  cfg,
-		hub:  newEventHub(),
-		jobs: make(map[string]*Job),
+		cfg:    cfg,
+		hub:    newEventHub(),
+		jobs:   make(map[string]*Job),
+		logger: cfg.Logger,
 	}
+	if m.logger == nil {
+		m.logger = obs.NopLogger()
+	}
+	// Collectors close over m and sample at scrape time, so registering
+	// before the store/journal/queue exist is safe — every closure
+	// nil-checks the field it reads.
+	m.tel = newTelemetry(m)
 	if cfg.CacheDir != "" {
 		st, err := utility.OpenStore(cfg.CacheDir)
 		if err != nil {
@@ -371,6 +435,15 @@ func (m *Manager) attachNotify(j *Job) {
 			m.journal.Append(event, st)
 		}
 		m.hub.publish(st.ID, Event{Type: event, Status: st})
+		lvl := slog.LevelInfo
+		if event == EventProgress {
+			lvl = slog.LevelDebug
+		}
+		attrs := []any{"job", st.ID, "state", string(st.State), "fresh", st.FreshEvals}
+		if st.Error != "" {
+			attrs = append(attrs, "error", st.Error)
+		}
+		m.logger.Log(context.Background(), lvl, "job "+event, attrs...)
 	}
 }
 
@@ -387,12 +460,19 @@ func (m *Manager) replay() ([]*Job, error) {
 	var pending []*Job
 	for _, st := range entries {
 		ctx, cancel := context.WithCancel(context.Background())
-		j := &Job{ctx: ctx, cancel: cancel}
+		j := &Job{ctx: ctx, cancel: cancel, tel: m.tel}
 		if st.State.Terminal() {
 			cancel()
 			j.status = *st
 		} else {
 			j.status = *resetForRequeue(st)
+			// A fresh trace for the fresh run; the queue-wait clock
+			// restarts here rather than at the original submission, so
+			// the job's pre-crash age doesn't pollute the histograms.
+			j.trace = obs.NewTrace()
+			j.trace.Event("requeue", "daemon", "reason", "restart-recovery")
+			j.queueSpan = j.trace.StartSpan("queue", "daemon")
+			j.enqueuedAt = time.Now().UTC()
 			pending = append(pending, j)
 		}
 		m.attachNotify(j)
@@ -475,7 +555,7 @@ func (m *Manager) Submit(req fedshap.JobRequest) (*fedshap.JobStatus, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &Job{ctx: ctx, cancel: cancel}
+	j := &Job{ctx: ctx, cancel: cancel, tel: m.tel, trace: obs.NewTrace()}
 	m.attachNotify(j)
 	// emitMu is held from before the job becomes visible until the
 	// submitted event is out, so a worker picking the job up immediately
@@ -496,6 +576,9 @@ func (m *Manager) Submit(req fedshap.JobRequest) (*fedshap.JobStatus, error) {
 		Budget:      budgetFor(req),
 		SubmittedAt: time.Now().UTC(),
 	}
+	j.enqueuedAt = j.status.SubmittedAt
+	j.trace.Event("submit", "daemon", "algorithm", req.Algorithm)
+	j.queueSpan = j.trace.StartSpan("queue", "daemon")
 	m.jobs[j.status.ID] = j
 	// Admission is bounded by the configured QueueCap, not the channel's
 	// capacity: recovery may have sized the channel larger to fit a
@@ -520,6 +603,9 @@ func (m *Manager) Submit(req fedshap.JobRequest) (*fedshap.JobStatus, error) {
 		return nil, ErrQueueFull
 	}
 	st := j.snapshot()
+	if m.tel != nil {
+		m.tel.jobsSubmitted.Inc()
+	}
 	j.emit(EventSubmitted, st)
 	j.emitMu.Unlock()
 	return st, nil
@@ -551,6 +637,111 @@ func (m *Manager) List() []*fedshap.JobStatus {
 		return out[a].ID > out[b].ID
 	})
 	return out
+}
+
+// countState counts jobs currently in one state, for the scrape-time
+// gauges.
+func (m *Manager) countState(state fedshap.JobState) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.status.State == state {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// Registry exposes the daemon's metric registry, for the HTTP handler's
+// Prometheus exposition and the debug listener.
+func (m *Manager) Registry() *obs.Registry { return m.tel.reg }
+
+// Trace returns a job's span timeline: daemon-side lifecycle phases plus
+// the per-worker dispatch spans and redispatch events merged in by the
+// coordinator. Terminal jobs restored from a previous life's journal
+// have no recorded spans.
+func (m *Manager) Trace(id string) (*fedshap.JobTrace, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	st := j.snapshot()
+	spans := j.trace.Snapshot()
+	out := &fedshap.JobTrace{JobID: id, State: st.State, Spans: make([]fedshap.TraceSpan, 0, len(spans))}
+	for _, sp := range spans {
+		ts := fedshap.TraceSpan{Name: sp.Name, Source: sp.Source, Start: sp.Start, Attrs: sp.Attrs}
+		if !sp.End.IsZero() {
+			end := sp.End
+			ts.End = &end
+			ts.DurationSeconds = end.Sub(sp.Start).Seconds()
+		}
+		out.Spans = append(out.Spans, ts)
+	}
+	return out, nil
+}
+
+// ListSince pages through jobs. With since == "" it returns the newest
+// limit jobs (newest first), exactly like List head-limited. A non-empty
+// since — a job ID, or an RFC 3339 timestamp — flips the order to oldest
+// first and returns only jobs submitted strictly after that point, which
+// is the shape a poller wants: "everything new since the last job I
+// saw". An unknown job ID returns ErrNotFound. limit <= 0 means no
+// limit.
+func (m *Manager) ListSince(since string, limit int) ([]*fedshap.JobStatus, error) {
+	all := m.List()
+	if since == "" {
+		if limit > 0 && len(all) > limit {
+			all = all[:limit]
+		}
+		return all, nil
+	}
+	var cutoff time.Time
+	var cutID string
+	if t, err := time.Parse(time.RFC3339Nano, since); err == nil {
+		cutoff = t
+	} else {
+		m.mu.Lock()
+		j, ok := m.jobs[since]
+		m.mu.Unlock()
+		if !ok {
+			return nil, ErrNotFound
+		}
+		st := j.snapshot()
+		cutoff, cutID = st.SubmittedAt, st.ID
+	}
+	// Oldest first, strictly after the (SubmittedAt, ID) cutoff — the
+	// same composite order List sorts by, so pagination by last-seen job
+	// ID never skips or repeats a job even when submissions share a
+	// timestamp.
+	out := make([]*fedshap.JobStatus, 0, len(all))
+	for i := len(all) - 1; i >= 0; i-- {
+		st := all[i]
+		after := st.SubmittedAt.After(cutoff) ||
+			(cutID != "" && st.SubmittedAt.Equal(cutoff) && idAfter(st.ID, cutID))
+		if !after {
+			continue
+		}
+		out = append(out, st)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// idAfter orders job IDs by submission ordinal, falling back to string
+// order for foreign IDs.
+func idAfter(a, b string) bool {
+	na, nb := idOrdinal(a), idOrdinal(b)
+	if na > 0 && nb > 0 && na != nb {
+		return na > nb
+	}
+	return a > b
 }
 
 // Watch subscribes to a job's event stream. The channel delivers an
@@ -595,6 +786,7 @@ func (m *Manager) Cancel(id string) (*fedshap.JobStatus, error) {
 	}
 	j.mu.Unlock()
 	if st != nil {
+		j.observeTerminal(fedshap.JobCancelled, *st.FinishedAt)
 		j.emit(EventCancelled, st)
 	}
 	j.emitMu.Unlock()
@@ -863,11 +1055,15 @@ func (m *Manager) runJob(j *Job) {
 		j.finish(fedshap.JobFailed, err.Error(), nil)
 		return
 	}
+	buildSpan := j.trace.StartSpan("build_problem", "daemon")
 	p, err := m.buildProblem(req)
 	if err != nil {
+		buildSpan.End()
 		j.finish(fedshap.JobFailed, err.Error(), nil)
 		return
 	}
+	buildSpan.SetAttr("problem", p.Name)
+	buildSpan.End()
 	j.setProblem(p.Name)
 
 	// Client-level training parallelism is configured before the oracle is
@@ -878,14 +1074,34 @@ func (m *Manager) runJob(j *Job) {
 	}
 	oracle := p.Oracle()
 	if m.store != nil {
+		warmSpan := j.trace.StartSpan("warm_start", "daemon")
 		warmed, err := m.store.Attach(oracle, j.snapshot().Fingerprint)
 		if err != nil {
+			warmSpan.End()
 			j.finish(fedshap.JobFailed, err.Error(), nil)
 			return
 		}
+		warmSpan.SetInt("warmed", int64(warmed))
+		warmSpan.End()
 		j.setWarmed(warmed)
 	}
 	oracle.OnEval(j.setFresh)
+	if tel := m.tel; tel != nil {
+		// Eval-source latency series: cache hits via the oracle's hit
+		// hook, in-process trainings via an innermost eval wrapper —
+		// installed before the coordinator session wraps it, so the
+		// session's local-fallback path is timed as "local" — and fleet
+		// round trips via the session's Observe seam below.
+		oracle.OnCacheHit(func(seconds float64) { tel.observeEval("cache", seconds) })
+		oracle.WrapEval(func(inner utility.EvalFunc) utility.EvalFunc {
+			return func(s combin.Coalition) float64 {
+				evalStart := time.Now()
+				u := inner(s)
+				tel.observeEval("local", time.Since(evalStart).Seconds())
+				return u
+			}
+		})
+	}
 
 	// Resolve the width of the job's coalition-evaluation pool: the
 	// request's preference, else the daemon's, else one pool slot per CPU.
@@ -927,6 +1143,8 @@ func (m *Manager) runJob(j *Job) {
 				Local:        local,
 				LocalLimit:   localLimit,
 				WarmSnapshot: warmSource(oracle, m.store, snap.Fingerprint),
+				Observe:      m.tel.observeEval,
+				Trace:        j.trace,
 			})
 			return sess.Eval
 		})
@@ -947,7 +1165,11 @@ func (m *Manager) runJob(j *Job) {
 	// which reports it uniformly.
 	if evalWorkers > 1 {
 		if plan, ok := shapley.PlanFor(alg, p.N, req.Seed+2); ok && len(plan) > 0 {
+			prefetchSpan := j.trace.StartSpan("prefetch", "daemon")
+			prefetchSpan.SetInt("planned", int64(len(plan)))
+			prefetchSpan.SetInt("workers", int64(evalWorkers))
 			_ = oracle.Prefetch(j.ctx, plan, evalWorkers)
+			prefetchSpan.End()
 		}
 	}
 
@@ -960,9 +1182,13 @@ func (m *Manager) runJob(j *Job) {
 	// oracle would, while FreshEvals/Report keep counting only real
 	// training work.
 	start := time.Now()
+	aggSpan := j.trace.StartSpan("aggregate", "daemon")
+	aggSpan.SetAttr("algorithm", alg.Name())
 	view := utility.NewRunView(oracle)
 	sctx := shapley.NewContext(view, req.Seed+2).WithSpec(p.Spec).WithContext(j.ctx)
 	values, err := shapley.Run(sctx, alg)
+	aggSpan.SetInt("evaluations", int64(oracle.Evals()))
+	aggSpan.End()
 	elapsed := time.Since(start).Seconds()
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

@@ -1,0 +1,257 @@
+package valserve
+
+import (
+	"strconv"
+	"time"
+
+	"fedshap"
+	"fedshap/internal/obs"
+)
+
+// wantedWorkersTarget is the drain window behind the
+// fedvald_fleet_wanted_workers autoscaling gauge: the fleet size the gauge
+// reports is the one that clears the coordinator's current evaluation
+// backlog (queue depth × EWMA latency) within this window. See
+// evalnet.Coordinator.WantedWorkers and the OPERATIONS.md monitoring
+// runbook.
+const wantedWorkersTarget = 30 * time.Second
+
+// telemetry owns the daemon's Prometheus registry and the instruments the
+// manager updates on its hot paths. Instruments are atomics (see
+// internal/obs); everything sampled from manager or coordinator state is
+// a scrape-time collector, so steady-state job execution pays only for
+// counter increments and histogram observes.
+type telemetry struct {
+	reg *obs.Registry
+
+	jobsSubmitted *obs.Counter
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCancelled *obs.Counter
+
+	jobDuration *obs.Histogram
+	queueWait   *obs.Histogram
+
+	evalLocal  *obs.Histogram
+	evalRemote *obs.Histogram
+	evalCache  *obs.Histogram
+
+	evalsFresh  *obs.Counter
+	evalsWarmed *obs.Counter
+}
+
+// evalLatencyBuckets spans cache lookups (microseconds) through full
+// federated trainings (minutes) in one histogram family.
+var evalLatencyBuckets = obs.ExpBuckets(1e-6, 10, 10)
+
+// newTelemetry registers every fedvald_* series against m. Collectors
+// close over the manager (and its coordinator, when configured) and
+// sample at scrape time; they must not be registered before the fields
+// they read exist.
+func newTelemetry(m *Manager) *telemetry {
+	r := obs.NewRegistry()
+	t := &telemetry{reg: r}
+
+	t.jobsSubmitted = r.NewCounter("fedvald_jobs_submitted_total",
+		"Valuation jobs accepted by POST /v1/jobs since process start.")
+	t.jobsDone = r.NewCounter("fedvald_jobs_completed_total",
+		"Jobs reaching a terminal state, by outcome.", "state", "done")
+	t.jobsFailed = r.NewCounter("fedvald_jobs_completed_total",
+		"Jobs reaching a terminal state, by outcome.", "state", "failed")
+	t.jobsCancelled = r.NewCounter("fedvald_jobs_completed_total",
+		"Jobs reaching a terminal state, by outcome.", "state", "cancelled")
+
+	t.jobDuration = r.NewHistogram("fedvald_job_duration_seconds",
+		"End-to-end job latency, enqueue to terminal state.",
+		obs.ExpBuckets(0.01, 2, 16))
+	t.queueWait = r.NewHistogram("fedvald_job_queue_wait_seconds",
+		"Time jobs spend queued before a pool worker picks them up.",
+		obs.ExpBuckets(0.001, 4, 10))
+
+	help := "Coalition evaluation latency by serving source (cache lookup, in-process training, fleet round trip)."
+	t.evalCache = r.NewHistogram("fedvald_eval_latency_seconds", help, evalLatencyBuckets, "source", "cache")
+	t.evalLocal = r.NewHistogram("fedvald_eval_latency_seconds", help, evalLatencyBuckets, "source", "local")
+	t.evalRemote = r.NewHistogram("fedvald_eval_latency_seconds", help, evalLatencyBuckets, "source", "remote")
+
+	t.evalsFresh = r.NewCounter("fedvald_evaluations_total",
+		"Coalition utilities produced, by kind: fresh trainings vs store-warmed preloads.", "kind", "fresh")
+	t.evalsWarmed = r.NewCounter("fedvald_evaluations_total",
+		"Coalition utilities produced, by kind: fresh trainings vs store-warmed preloads.", "kind", "warmed")
+
+	r.NewGaugeFunc("fedvald_queued_jobs", "Jobs currently queued.",
+		func() float64 { return float64(m.countState(fedshap.JobQueued)) })
+	r.NewGaugeFunc("fedvald_running_jobs", "Jobs currently running.",
+		func() float64 { return float64(m.countState(fedshap.JobRunning)) })
+	r.NewGaugeFunc("fedvald_job_queue_depth_jobs", "Jobs waiting for a pool worker.",
+		func() float64 { return float64(len(m.queue)) })
+	r.NewGaugeFunc("fedvald_job_queue_capacity_jobs", "Admission limit of the job queue.",
+		func() float64 { return float64(cap(m.queue)) })
+	r.NewGaugeFunc("fedvald_sse_subscribers", "Open SSE event-stream subscriptions across all jobs.",
+		func() float64 { return float64(m.hub.subscriberCount()) })
+
+	r.NewGaugeFunc("fedvald_cache_hit_ratio",
+		"Warmed / (warmed + fresh) coalition utilities since process start.",
+		func() float64 {
+			warmed, fresh := float64(t.evalsWarmed.Value()), float64(t.evalsFresh.Value())
+			if warmed+fresh == 0 {
+				return 0
+			}
+			return warmed / (warmed + fresh)
+		})
+	r.NewGaugeFunc("fedvald_store_bytes", "Persistent utility store size on disk.",
+		func() float64 {
+			if m.store == nil {
+				return 0
+			}
+			stats, err := m.store.Stats()
+			if err != nil {
+				return 0
+			}
+			return float64(stats.Bytes)
+		})
+	r.NewGaugeFunc("fedvald_store_fingerprints", "Problem fingerprints in the persistent utility store.",
+		func() float64 {
+			if m.store == nil {
+				return 0
+			}
+			stats, err := m.store.Stats()
+			if err != nil {
+				return 0
+			}
+			return float64(stats.Fingerprints)
+		})
+	r.NewGaugeFunc("fedvald_journal_bytes", "Durable job journal size on disk (0 when durability is off).",
+		func() float64 {
+			if m.journal == nil {
+				return 0
+			}
+			return float64(m.journal.Size())
+		})
+	r.NewCollector("fedvald_compactions_total",
+		"Store+journal compaction sweeps run since process start.", obs.TypeCounter,
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(m.compactions.Load())}}
+		})
+	r.NewCollector("fedvald_compaction_dropped_total",
+		"Duplicate records removed by compaction sweeps.", obs.TypeCounter,
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(m.compactDropped.Load())}}
+		})
+
+	if c := m.cfg.Coordinator; c != nil {
+		r.NewGaugeFunc("fedvald_fleet_workers", "Remote evaluation workers attached.",
+			func() float64 { return float64(c.WorkerCount()) })
+		r.NewGaugeFunc("fedvald_fleet_capacity_tasks", "Aggregate in-flight evaluation limit of the fleet.",
+			func() float64 { return float64(c.TotalCapacity()) })
+		r.NewGaugeFunc("fedvald_fleet_pending_tasks", "Evaluations queued on the coordinator, unassigned.",
+			func() float64 { return float64(c.Stats().PendingTasks) })
+		r.NewGaugeFunc("fedvald_fleet_wanted_workers",
+			"Autoscaling signal: workers needed to drain the evaluation backlog (queue depth x EWMA latency) within 30s.",
+			func() float64 { return float64(c.WantedWorkers(wantedWorkersTarget)) })
+		r.NewCollector("fedvald_fleet_redispatch_total",
+			"Evaluations re-dispatched, by reason: speculative straggler relief vs worker death.", obs.TypeCounter,
+			func() []obs.Sample {
+				s := c.Stats()
+				return []obs.Sample{
+					{Labels: []string{"reason", "straggler"}, Value: float64(s.Redispatches)},
+					{Labels: []string{"reason", "worker-death"}, Value: float64(s.Requeues)},
+				}
+			})
+		r.NewCollector("fedvald_fleet_redispatch_wins_total",
+			"Speculative copies that answered before the original assignment.", obs.TypeCounter,
+			func() []obs.Sample {
+				return []obs.Sample{{Value: float64(c.Stats().RedispatchWins)}}
+			})
+		r.NewCollector("fedvald_fleet_worker_completed_total",
+			"Evaluations answered, per attached worker.", obs.TypeCounter,
+			func() []obs.Sample {
+				return workerSamples(c.Workers(), func(w fedshap.WorkerInfo) float64 { return float64(w.Completed) })
+			})
+		r.NewCollector("fedvald_fleet_worker_redispatched_total",
+			"Speculative relief copies received, per attached worker.", obs.TypeCounter,
+			func() []obs.Sample {
+				return workerSamples(c.Workers(), func(w fedshap.WorkerInfo) float64 { return float64(w.Redispatched) })
+			})
+		r.NewCollector("fedvald_fleet_worker_inflight_tasks",
+			"Evaluations currently assigned, per attached worker.", obs.TypeGauge,
+			func() []obs.Sample {
+				return workerSamples(c.Workers(), func(w fedshap.WorkerInfo) float64 { return float64(w.InFlight) })
+			})
+		r.NewCollector("fedvald_fleet_worker_ewma_seconds",
+			"EWMA evaluation latency, per attached worker.", obs.TypeGauge,
+			func() []obs.Sample {
+				return workerSamples(c.Workers(), func(w fedshap.WorkerInfo) float64 { return w.EWMAMillis / 1000 })
+			})
+	}
+	return t
+}
+
+// workerSamples projects the fleet listing into one sample per worker.
+// Label identity is the worker name plus the coordinator-assigned id, so
+// two workers launched with the same -name stay distinguishable.
+func workerSamples(workers []fedshap.WorkerInfo, value func(fedshap.WorkerInfo) float64) []obs.Sample {
+	out := make([]obs.Sample, 0, len(workers))
+	for _, w := range workers {
+		out = append(out, obs.Sample{
+			Labels: []string{"worker", w.Name, "id", strconv.Itoa(w.ID)},
+			Value:  value(w),
+		})
+	}
+	return out
+}
+
+// observeEval routes one evaluation latency sample to its source series.
+func (t *telemetry) observeEval(source string, seconds float64) {
+	if t == nil {
+		return
+	}
+	switch source {
+	case "cache":
+		t.evalCache.Observe(seconds)
+	case "remote":
+		t.evalRemote.Observe(seconds)
+	default:
+		t.evalLocal.Observe(seconds)
+	}
+}
+
+// WorkerTelemetry is the fedvalworker daemon's metric surface, served on
+// its -pprof debug listener: evaluation counts by outcome and a latency
+// histogram. Observe is plugged into evalnet.Worker.Observe.
+type WorkerTelemetry struct {
+	reg     *obs.Registry
+	fresh   *obs.Counter
+	warm    *obs.Counter
+	errored *obs.Counter
+	latency *obs.Histogram
+}
+
+// NewWorkerTelemetry builds the fedvalworker registry.
+func NewWorkerTelemetry() *WorkerTelemetry {
+	r := obs.NewRegistry()
+	help := "Assignments answered, by outcome: fresh training, warm cache answer, or error."
+	return &WorkerTelemetry{
+		reg:     r,
+		fresh:   r.NewCounter("fedvalworker_evaluations_total", help, "outcome", "fresh"),
+		warm:    r.NewCounter("fedvalworker_evaluations_total", help, "outcome", "warm"),
+		errored: r.NewCounter("fedvalworker_evaluations_total", help, "outcome", "error"),
+		latency: r.NewHistogram("fedvalworker_eval_latency_seconds",
+			"Wall time per answered assignment.", evalLatencyBuckets),
+	}
+}
+
+// Registry exposes the registry for the debug listener's /metrics route.
+func (t *WorkerTelemetry) Registry() *obs.Registry { return t.reg }
+
+// Observe records one answered assignment (evalnet.Worker.Observe).
+func (t *WorkerTelemetry) Observe(outcome string, seconds float64) {
+	switch outcome {
+	case "warm":
+		t.warm.Inc()
+	case "error":
+		t.errored.Inc()
+	default:
+		t.fresh.Inc()
+	}
+	t.latency.Observe(seconds)
+}

@@ -136,6 +136,47 @@ type FleetMetrics struct {
 	// stragglers; RedispatchWins counts the copies that answered first.
 	Redispatches   int64 `json:"redispatches"`
 	RedispatchWins int64 `json:"redispatch_wins"`
+	// Requeues counts tasks re-dispatched because their worker died
+	// mid-evaluation (distinct from speculative straggler relief).
+	Requeues int64 `json:"requeues"`
+}
+
+// TraceSpan is one step of a job's trace timeline (GET
+// /v1/jobs/{id}/trace): a named interval with its source — "daemon" for
+// coordinator-side phases, a worker's name for fleet dispatch spans — and
+// free-form attributes. An instant event has DurationSeconds 0 and
+// End == Start; a span still open when the trace was fetched has a nil
+// End.
+type TraceSpan struct {
+	// Name is the lifecycle step: submit, queue, build_problem,
+	// warm_start, prefetch, aggregate, report, dispatch, redispatch.
+	Name string `json:"name"`
+	// Source attributes the span: "daemon", or a worker name.
+	Source string `json:"source,omitempty"`
+	// Start and End bound the span (End nil while it is open).
+	Start time.Time  `json:"start"`
+	End   *time.Time `json:"end,omitempty"`
+	// DurationSeconds is End - Start (0 for events and open spans).
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Attrs carries step-specific detail: task counts by outcome on
+	// dispatch spans, the reason (worker-death | straggler) on redispatch
+	// events, warmed/planned counts on the daemon phases.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// JobTrace is the assembled span timeline of one job — the answer to
+// "where did this job spend its time" across the daemon → coordinator →
+// worker path. Traces live in daemon memory only: they cover jobs run by
+// the current process and do not survive a restart (unlike job statuses
+// and reports, which replay from the journal).
+type JobTrace struct {
+	// JobID is the job the spans belong to.
+	JobID string `json:"job_id"`
+	// State is the job's lifecycle state when the trace was fetched.
+	State JobState `json:"state"`
+	// Spans is the timeline ordered by start time. Worker-side evaluation
+	// time is merged into per-worker dispatch spans (attr eval_seconds).
+	Spans []TraceSpan `json:"spans"`
 }
 
 // JobMetrics is the job-table section of GET /metrics.
@@ -293,11 +334,43 @@ func (c *ServiceClient) Job(ctx context.Context, id string) (*JobStatus, error) 
 
 // Jobs lists every job the daemon knows, newest first.
 func (c *ServiceClient) Jobs(ctx context.Context) ([]*JobStatus, error) {
+	return c.JobsSince(ctx, "", 0)
+}
+
+// JobsSince pages the job history (GET /v1/jobs?since=...&limit=...).
+// since is a job ID or an RFC 3339 timestamp: only jobs submitted
+// strictly after it are returned, oldest first, so a poller passes the
+// last ID it saw and receives exactly the jobs it missed. An empty since
+// lists newest first (the plain Jobs ordering). limit > 0 caps the page
+// size. An unknown since job ID reports ErrJobNotFound.
+func (c *ServiceClient) JobsSince(ctx context.Context, since string, limit int) ([]*JobStatus, error) {
+	path := "/v1/jobs"
+	q := url.Values{}
+	if since != "" {
+		q.Set("since", since)
+	}
+	if limit > 0 {
+		q.Set("limit", fmt.Sprint(limit))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
 	var out []*JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Trace fetches a job's span timeline (GET /v1/jobs/{id}/trace). Traces
+// exist for jobs run by the current daemon process; for a job replayed
+// from the journal after a restart the timeline is empty.
+func (c *ServiceClient) Trace(ctx context.Context, id string) (*JobTrace, error) {
+	var tr JobTrace
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/trace", nil, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // Cancel requests cancellation of a queued or running job and returns the
