@@ -1,0 +1,62 @@
+package fedshap
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchTrajectoryFiles validates every committed BENCH_PR*.json
+// point: scripts/bench_diff.sh and the CI trajectory gate parse these
+// files, so a malformed point (a hand edit, a half-written run) would
+// silently drop benchmarks from the regression gate. Each file must be
+// valid JSON with the keys bench.sh emits and a non-empty benchmark list
+// whose entries all carry a name and a ns_per_op measurement.
+func TestBenchTrajectoryFiles(t *testing.T) {
+	files, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("no committed BENCH_PR*.json points")
+	}
+	for _, file := range files {
+		t.Run(file, func(t *testing.T) {
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var point struct {
+				PR         *int   `json:"pr"`
+				Date       string `json:"date"`
+				Go         string `json:"go"`
+				Benchmarks []struct {
+					Name    string   `json:"name"`
+					Iters   *int     `json:"iters"`
+					NsPerOp *float64 `json:"ns_per_op"`
+				} `json:"benchmarks"`
+			}
+			if err := json.Unmarshal(raw, &point); err != nil {
+				t.Fatalf("not valid JSON: %v", err)
+			}
+			if point.PR == nil || point.Date == "" || point.Go == "" {
+				t.Errorf("missing header keys: pr=%v date=%q go=%q", point.PR, point.Date, point.Go)
+			}
+			if len(point.Benchmarks) == 0 {
+				t.Fatal("empty benchmarks array")
+			}
+			for i, b := range point.Benchmarks {
+				if b.Name == "" {
+					t.Errorf("benchmark %d has no name", i)
+				}
+				if b.NsPerOp == nil {
+					t.Errorf("benchmark %d (%s) has no ns_per_op", i, b.Name)
+				}
+				if b.Iters == nil {
+					t.Errorf("benchmark %d (%s) has no iters", i, b.Name)
+				}
+			}
+		})
+	}
+}

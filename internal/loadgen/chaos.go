@@ -1,0 +1,537 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os/exec"
+	"time"
+
+	"fedshap"
+)
+
+// ProcessSpec is the seam between the chaos controller and the operating
+// system: how to (re)launch the processes it kills. cmd/fedvalload wires
+// these to the real fedvald/fedvalworker binaries; the tests wire them to
+// the re-exec'd test binary. Every function must return an already
+// started command.
+type ProcessSpec struct {
+	// StartDaemon (re)launches the chaos-target daemon on its fixed API
+	// and worker-listener addresses, over the same journal and cache
+	// directory as the previous life — that reuse is the whole point: the
+	// relaunched daemon must recover the journal and warm the store.
+	StartDaemon func() (*exec.Cmd, error)
+	// StartWorker (re)launches the named fleet worker, dialing the
+	// coordinator through the chaos proxy so partitions can sever it.
+	StartWorker func(name string) (*exec.Cmd, error)
+	// StartControl launches the independent control daemon — fresh
+	// journal, fresh cache, no faults — used for the bit-identical
+	// invariant. Nil skips that invariant.
+	StartControl func() (*exec.Cmd, error)
+}
+
+// ChaosConfig shapes a chaos run around a load Runner.
+type ChaosConfig struct {
+	// Spec launches processes; Client talks to the chaos daemon (same
+	// client the Runner uses).
+	Spec   ProcessSpec
+	Client *fedshap.ServiceClient
+	// WorkerNames is the fleet roster; each name is kept alive (killed
+	// workers are relaunched under the same name).
+	WorkerNames []string
+	// Proxy, when set, sits between the workers and the coordinator and
+	// powers partition faults. Required if Partitions > 0.
+	Proxy *Proxy
+	// DaemonKills / WorkerKills / Partitions are the fault quotas,
+	// interleaved round-robin across the run.
+	DaemonKills int
+	WorkerKills int
+	Partitions  int
+	// ControlClient talks to the control daemon (required when
+	// Spec.StartControl is set).
+	ControlClient *fedshap.ServiceClient
+	// SettleTimeout bounds each wait for the system to become healthy
+	// again after a fault (default 60s).
+	SettleTimeout time.Duration
+	// Logf receives fault-by-fault progress; nil discards it.
+	Logf func(format string, args ...any)
+}
+
+func (c *ChaosConfig) defaults() {
+	if c.SettleTimeout <= 0 {
+		c.SettleTimeout = 60 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// controller tracks the live process handles across kills.
+type controller struct {
+	cfg     ChaosConfig
+	runner  *Runner
+	daemon  *exec.Cmd
+	workers map[string]*exec.Cmd
+	control *exec.Cmd
+}
+
+// RunChaos launches the daemon and fleet, drives the Runner's load
+// against them while injecting the configured faults, and then checks the
+// four recovery invariants the service promises:
+//
+//   - all-terminal: every accepted submission reached a terminal state
+//     (and none failed) despite the kills;
+//   - replay-zero-fresh: resubmitting each distinct request afterwards
+//     costs zero fresh evaluations — the store retained every coalition
+//     across daemon deaths;
+//   - control-bit-identical: the recovered reports match an undisturbed
+//     control daemon's reports bit for bit;
+//   - redispatch-accounting: the fleet's worker-death requeue counter,
+//     accumulated across daemon lives, accounts for every induced death
+//     that verifiably had work in flight.
+//
+// The report's Chaos section records faults and verdicts; RunChaos only
+// returns a non-nil error for harness failures (a violated invariant is
+// data, not an error — callers decide via Report.Chaos.Violations()).
+func RunChaos(ctx context.Context, r *Runner, cfg ChaosConfig) (*Report, error) {
+	cfg.defaults()
+	if cfg.Spec.StartDaemon == nil || cfg.Spec.StartWorker == nil {
+		return nil, fmt.Errorf("loadgen: chaos needs Spec.StartDaemon and Spec.StartWorker")
+	}
+	if cfg.Partitions > 0 && cfg.Proxy == nil {
+		return nil, fmt.Errorf("loadgen: partitions need a Proxy")
+	}
+	ctrl := &controller{cfg: cfg, runner: r, workers: make(map[string]*exec.Cmd)}
+	defer ctrl.stopAll()
+
+	if err := ctrl.startAll(ctx); err != nil {
+		return nil, err
+	}
+
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var runRep *Report
+	var runErr error
+	done := make(chan struct{})
+	go func() {
+		runRep, runErr = r.Run(runCtx)
+		close(done)
+	}()
+
+	chaos := &ChaosReport{}
+	if err := ctrl.injectFaults(ctx, chaos, done); err != nil {
+		cancelRun()
+		<-done
+		return nil, err
+	}
+
+	<-done
+	if runRep == nil {
+		// The run failed before producing a report (harness-level failure,
+		// e.g. the submission pool hit a hard rejection).
+		return nil, runErr
+	}
+	// A timeout before quiescence still yields a report; the all-terminal
+	// invariant records the violation.
+	rep := runRep
+	rep.Chaos = chaos
+	chaos.ObservedDeathRequeues = r.DeathRequeues()
+
+	ctrl.checkAllTerminal(rep)
+	ctrl.checkRedispatchAccounting(chaos)
+	replayed := ctrl.checkReplayZeroFresh(ctx, r, chaos)
+	ctrl.checkControlBitIdentical(ctx, r, chaos, replayed)
+	return rep, nil
+}
+
+// startAll launches the daemon and the full worker roster and waits for
+// the fleet to attach.
+func (c *controller) startAll(ctx context.Context) error {
+	d, err := c.cfg.Spec.StartDaemon()
+	if err != nil {
+		return fmt.Errorf("loadgen: start daemon: %w", err)
+	}
+	c.daemon = d
+	if err := c.waitHealthy(ctx); err != nil {
+		return err
+	}
+	for _, name := range c.cfg.WorkerNames {
+		w, err := c.cfg.Spec.StartWorker(name)
+		if err != nil {
+			return fmt.Errorf("loadgen: start worker %s: %w", name, err)
+		}
+		c.workers[name] = w
+	}
+	return c.waitFleet(ctx, len(c.cfg.WorkerNames))
+}
+
+// injectFaults fires the configured faults round-robin, each gated on a
+// terminal-count milestone so they land while load is genuinely in
+// flight. If the run finishes early the remaining faults fire back to
+// back (they still exercise recovery — the replay/control passes come
+// after).
+func (c *controller) injectFaults(ctx context.Context, chaos *ChaosReport, done <-chan struct{}) error {
+	seq := faultSequence(c.cfg.WorkerKills, c.cfg.Partitions, c.cfg.DaemonKills)
+	total := len(c.runner.Requests())
+	finished := false
+	for i, fault := range seq {
+		milestone := total * (i + 1) / (len(seq) + 2)
+		for !finished && c.runner.TerminalCount() < milestone {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-done:
+				finished = true
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+		var err error
+		switch fault {
+		case "worker":
+			err = c.killWorker(ctx, chaos)
+		case "partition":
+			err = c.partition(ctx, chaos)
+		case "daemon":
+			err = c.killDaemon(ctx, chaos)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// faultSequence interleaves the quotas round-robin: worker kill,
+// partition, daemon kill, worker kill, ...
+func faultSequence(workers, partitions, daemons int) []string {
+	var seq []string
+	for workers+partitions+daemons > 0 {
+		if workers > 0 {
+			seq = append(seq, "worker")
+			workers--
+		}
+		if partitions > 0 {
+			seq = append(seq, "partition")
+			partitions--
+		}
+		if daemons > 0 {
+			seq = append(seq, "daemon")
+			daemons--
+		}
+	}
+	return seq
+}
+
+// killWorker SIGKILLs one fleet worker — preferring one with verified
+// in-flight work — and relaunches it under the same name.
+func (c *controller) killWorker(ctx context.Context, chaos *ChaosReport) error {
+	m := c.scrape(ctx)
+	victim := c.cfg.WorkerNames[chaos.WorkerKills%len(c.cfg.WorkerNames)]
+	inflight := false
+	if m != nil && m.Fleet != nil {
+		for _, w := range m.Fleet.Workers {
+			if w.InFlight > 0 {
+				victim, inflight = w.Name, true
+				break
+			}
+		}
+	}
+	proc, ok := c.workers[victim]
+	if !ok {
+		return fmt.Errorf("loadgen: no process handle for worker %s", victim)
+	}
+	c.cfg.Logf("chaos: SIGKILL worker %s (in-flight verified: %v)", victim, inflight)
+	proc.Process.Kill()
+	proc.Wait()
+	chaos.WorkerKills++
+	if inflight {
+		chaos.KillsWithInflight++
+	}
+	w, err := c.cfg.Spec.StartWorker(victim)
+	if err != nil {
+		return fmt.Errorf("loadgen: relaunch worker %s: %w", victim, err)
+	}
+	c.workers[victim] = w
+	return c.waitFleet(ctx, len(c.cfg.WorkerNames))
+}
+
+// partition severs every worker⇄coordinator connection at once. The
+// workers' retry loops heal it; the coordinator must requeue whatever the
+// severed workers had in flight.
+func (c *controller) partition(ctx context.Context, chaos *ChaosReport) error {
+	m := c.scrape(ctx)
+	inflight := false
+	if m != nil && m.Fleet != nil {
+		for _, w := range m.Fleet.Workers {
+			if w.InFlight > 0 {
+				inflight = true
+				break
+			}
+		}
+	}
+	n := c.cfg.Proxy.SeverAll()
+	c.cfg.Logf("chaos: severed %d coordinator connections (in-flight verified: %v)", n, inflight)
+	chaos.Partitions++
+	if inflight {
+		chaos.KillsWithInflight++
+	}
+	return c.waitFleet(ctx, len(c.cfg.WorkerNames))
+}
+
+// killDaemon scrapes (so the dying life's counters are folded into the
+// cross-life accumulation), SIGKILLs the daemon, relaunches it over the
+// same journal and cache directory, and waits for recovery: API healthy
+// and fleet reattached.
+func (c *controller) killDaemon(ctx context.Context, chaos *ChaosReport) error {
+	c.scrape(ctx)
+	c.cfg.Logf("chaos: SIGKILL daemon")
+	c.daemon.Process.Kill()
+	c.daemon.Wait()
+	chaos.DaemonKills++
+	d, err := c.cfg.Spec.StartDaemon()
+	if err != nil {
+		return fmt.Errorf("loadgen: relaunch daemon: %w", err)
+	}
+	c.daemon = d
+	if err := c.waitHealthy(ctx); err != nil {
+		return err
+	}
+	return c.waitFleet(ctx, len(c.cfg.WorkerNames))
+}
+
+// scrape samples /metrics through the Runner's accumulating scraper.
+func (c *controller) scrape(ctx context.Context) *fedshap.Metrics {
+	return c.runner.ScrapeNow(ctx)
+}
+
+// waitHealthy blocks until the daemon answers the API again.
+func (c *controller) waitHealthy(ctx context.Context) error {
+	deadline := time.Now().Add(c.cfg.SettleTimeout)
+	for {
+		hctx, cancel := context.WithTimeout(ctx, time.Second)
+		_, err := c.cfg.Client.Metrics(hctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: daemon not healthy after %s: %w", c.cfg.SettleTimeout, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// waitFleet blocks until n workers are attached to the coordinator.
+func (c *controller) waitFleet(ctx context.Context, n int) error {
+	if n == 0 {
+		return nil
+	}
+	deadline := time.Now().Add(c.cfg.SettleTimeout)
+	for {
+		hctx, cancel := context.WithTimeout(ctx, time.Second)
+		workers, err := c.cfg.Client.Workers(hctx)
+		cancel()
+		if err == nil && len(workers) >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: fleet did not reach %d workers within %s", n, c.cfg.SettleTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// checkAllTerminal: every accepted submission terminal, none failed or
+// cancelled.
+func (c *controller) checkAllTerminal(rep *Report) {
+	ok := rep.Submitted == rep.Jobs && rep.Done == rep.Submitted
+	detail := fmt.Sprintf("%d/%d submitted, %d done, %d failed, %d cancelled",
+		rep.Submitted, rep.Jobs, rep.Done, rep.Failed, rep.Cancelled)
+	rep.Chaos.Invariants = append(rep.Chaos.Invariants, InvariantResult{
+		Name: "all-terminal", OK: ok, Detail: detail,
+	})
+}
+
+// checkRedispatchAccounting: the accumulated worker-death requeue counter
+// must cover every induced fault that verifiably had work in flight. (A
+// requeue burst can be lost if the daemon is SIGKILLed between the
+// requeue and the next scrape; the controller scrapes immediately before
+// each kill to close that window.)
+func (c *controller) checkRedispatchAccounting(chaos *ChaosReport) {
+	ok := chaos.ObservedDeathRequeues >= int64(chaos.KillsWithInflight)
+	detail := fmt.Sprintf("%d death requeues observed across daemon lives, %d induced deaths with in-flight work",
+		chaos.ObservedDeathRequeues, chaos.KillsWithInflight)
+	chaos.Invariants = append(chaos.Invariants, InvariantResult{
+		Name: "redispatch-accounting", OK: ok, Detail: detail,
+	})
+}
+
+// checkReplayZeroFresh resubmits every distinct request of the run and
+// asserts the store answers all of them warm: done, zero fresh
+// evaluations. Returns the replay reports keyed by request for the
+// control comparison.
+func (c *controller) checkReplayZeroFresh(ctx context.Context, r *Runner, chaos *ChaosReport) map[string]*fedshap.Report {
+	unique := r.UniqueRequests()
+	reports := make(map[string]*fedshap.Report, len(unique))
+	var fresh int64
+	failures := 0
+	for _, req := range unique {
+		st, err := c.submitAndWait(ctx, c.cfg.Client, req)
+		if err != nil || st.State != fedshap.JobDone {
+			failures++
+			continue
+		}
+		fresh += int64(st.FreshEvals)
+		reports[requestKey(req)] = st.Report
+	}
+	ok := failures == 0 && fresh == 0
+	detail := fmt.Sprintf("%d distinct requests replayed, %d fresh evals, %d failures", len(unique), fresh, failures)
+	chaos.Invariants = append(chaos.Invariants, InvariantResult{
+		Name: "replay-zero-fresh", OK: ok, Detail: detail,
+	})
+	return reports
+}
+
+// checkControlBitIdentical runs every distinct request on an undisturbed
+// control daemon and compares the values bit for bit against the chaos
+// daemon's replayed reports.
+func (c *controller) checkControlBitIdentical(ctx context.Context, r *Runner, chaos *ChaosReport, replayed map[string]*fedshap.Report) {
+	if c.cfg.Spec.StartControl == nil || c.cfg.ControlClient == nil {
+		return
+	}
+	ctl, err := c.cfg.Spec.StartControl()
+	if err != nil {
+		chaos.Invariants = append(chaos.Invariants, InvariantResult{
+			Name: "control-bit-identical", Detail: fmt.Sprintf("control daemon failed to start: %v", err),
+		})
+		return
+	}
+	c.control = ctl
+	if err := waitClient(ctx, c.cfg.ControlClient, c.cfg.SettleTimeout); err != nil {
+		chaos.Invariants = append(chaos.Invariants, InvariantResult{
+			Name: "control-bit-identical", Detail: err.Error(),
+		})
+		return
+	}
+	unique := r.UniqueRequests()
+	mismatches, failures, compared := 0, 0, 0
+	var firstDiff string
+	for _, req := range unique {
+		st, err := c.submitAndWait(ctx, c.cfg.ControlClient, req)
+		if err != nil || st.State != fedshap.JobDone {
+			failures++
+			continue
+		}
+		chaosRep := replayed[requestKey(req)]
+		if chaosRep == nil {
+			continue // replay already recorded the failure
+		}
+		compared++
+		if !bitIdentical(chaosRep.Values, st.Report.Values) {
+			mismatches++
+			if firstDiff == "" {
+				firstDiff = fmt.Sprintf("; first diff: chaos %v vs control %v", chaosRep.Values, st.Report.Values)
+			}
+		}
+	}
+	ok := failures == 0 && mismatches == 0 && compared > 0
+	detail := fmt.Sprintf("%d reports compared, %d mismatched, %d control failures%s", compared, mismatches, failures, firstDiff)
+	chaos.Invariants = append(chaos.Invariants, InvariantResult{
+		Name: "control-bit-identical", OK: ok, Detail: detail,
+	})
+}
+
+// submitAndWait submits one request and polls it to a terminal state,
+// riding out transient transport errors.
+func (c *controller) submitAndWait(ctx context.Context, client *fedshap.ServiceClient, req fedshap.JobRequest) (*fedshap.JobStatus, error) {
+	deadline := time.Now().Add(c.cfg.SettleTimeout)
+	var st *fedshap.JobStatus
+	var err error
+	for {
+		st, err = client.Submit(ctx, req)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("loadgen: submit: %w", err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	for {
+		cur, err := client.Job(ctx, st.ID)
+		if err == nil && cur.State.Terminal() {
+			return cur, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("loadgen: job %s not terminal within %s", st.ID, c.cfg.SettleTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// waitClient blocks until a daemon answers its API.
+func waitClient(ctx context.Context, client *fedshap.ServiceClient, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		hctx, cancel := context.WithTimeout(ctx, time.Second)
+		_, err := client.Metrics(hctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: control daemon not healthy after %s: %w", timeout, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// bitIdentical compares two value vectors bit for bit — the determinism
+// contract is exact float equality, not tolerance.
+func bitIdentical(a, b fedshap.Values) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// stopAll tears every launched process down (SIGKILL; the run is over).
+func (c *controller) stopAll() {
+	for _, w := range c.workers {
+		if w != nil && w.Process != nil {
+			w.Process.Kill()
+			w.Wait()
+		}
+	}
+	for _, d := range []*exec.Cmd{c.daemon, c.control} {
+		if d != nil && d.Process != nil {
+			d.Process.Kill()
+			d.Wait()
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fedshap"
+)
+
+// TestChaosRecoveryInvariants is the fault-injection end-to-end: a real
+// daemon OS process with a two-worker fleet takes a mixed load while the
+// controller SIGKILLs a worker mid-evaluation, severs every coordinator
+// connection, SIGKILLs and relaunches the daemon itself over the same
+// journal, then kills a second worker — and the four recovery invariants
+// must hold: every job terminal, replay fully warm, reports bit-identical
+// to an undisturbed control daemon, and the worker-death requeue counter
+// accounting for every induced death with work in flight.
+func TestChaosRecoveryInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemon and worker OS processes")
+	}
+	dir := t.TempDir()
+	apiAddr := freeAddr(t)
+	workerAddr := freeAddr(t)
+	controlAddr := freeAddr(t)
+
+	proxy, err := NewProxy("127.0.0.1:0", workerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	const gameDelay = "25"
+	chaosDir := filepath.Join(dir, "chaos")
+	controlDir := filepath.Join(dir, "control")
+	spec := ProcessSpec{
+		StartDaemon: func() (*exec.Cmd, error) {
+			return spawnHelper(
+				"FEDSHAP_LOADTEST_DAEMON_DIR="+chaosDir,
+				"FEDSHAP_LOADTEST_API_ADDR="+apiAddr,
+				"FEDSHAP_LOADTEST_WORKER_ADDR="+workerAddr,
+				"FEDSHAP_LOADTEST_GAME_DELAY_MS="+gameDelay,
+			)
+		},
+		StartWorker: func(name string) (*exec.Cmd, error) {
+			return spawnHelper(
+				"FEDSHAP_LOADTEST_COORD="+proxy.Addr(),
+				"FEDSHAP_LOADTEST_WORKER_NAME="+name,
+				"FEDSHAP_LOADTEST_GAME_DELAY_MS="+gameDelay,
+			)
+		},
+		StartControl: func() (*exec.Cmd, error) {
+			return spawnHelper(
+				"FEDSHAP_LOADTEST_DAEMON_DIR="+controlDir,
+				"FEDSHAP_LOADTEST_API_ADDR="+controlAddr,
+			)
+		},
+	}
+
+	client := fedshap.NewServiceClient("http://" + apiAddr)
+	r, err := NewRunner(Config{
+		Client:       client,
+		Jobs:         36,
+		Concurrency:  6,
+		BatchSize:    3,
+		Fingerprints: 5,
+		WarmFraction: 0.25,
+		Watchers:     3,
+		Seed:         11,
+		Timeout:      90 * time.Second,
+		Mix:          Mix{Gammas: []int{5, 9}},
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	rep, err := RunChaos(ctx, r, ChaosConfig{
+		Spec:          spec,
+		Client:        client,
+		ControlClient: fedshap.NewServiceClient("http://" + controlAddr),
+		WorkerNames:   []string{"chaos-w0", "chaos-w1"},
+		Proxy:         proxy,
+		DaemonKills:   1,
+		WorkerKills:   2,
+		Partitions:    1,
+		SettleTimeout: 45 * time.Second,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Chaos == nil {
+		t.Fatal("no chaos section in report")
+	}
+	if rep.Chaos.DaemonKills != 1 || rep.Chaos.WorkerKills != 2 || rep.Chaos.Partitions != 1 {
+		t.Errorf("fault counts = %d daemon, %d worker, %d partition; want 1/2/1",
+			rep.Chaos.DaemonKills, rep.Chaos.WorkerKills, rep.Chaos.Partitions)
+	}
+	wantInvariants := map[string]bool{
+		"all-terminal": false, "replay-zero-fresh": false,
+		"control-bit-identical": false, "redispatch-accounting": false,
+	}
+	for _, inv := range rep.Chaos.Invariants {
+		if _, known := wantInvariants[inv.Name]; !known {
+			t.Errorf("unexpected invariant %q", inv.Name)
+			continue
+		}
+		wantInvariants[inv.Name] = true
+		if !inv.OK {
+			t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+		}
+	}
+	for name, seen := range wantInvariants {
+		if !seen {
+			t.Errorf("invariant %s was not checked", name)
+		}
+	}
+	if len(rep.Chaos.Violations()) != 0 {
+		t.Errorf("Violations() = %v", rep.Chaos.Violations())
+	}
+	if rep.Submitted != 36 || rep.Done != 36 {
+		t.Errorf("load = %d submitted, %d done; want 36/36", rep.Submitted, rep.Done)
+	}
+	// The report is a full load report too: percentiles and throughput
+	// survive the chaos.
+	if rep.JobLatency.Count != 36 || rep.Throughput <= 0 {
+		t.Errorf("latency population %d, throughput %v", rep.JobLatency.Count, rep.Throughput)
+	}
+	summary := rep.Summary()
+	if len(summary) == 0 {
+		t.Error("empty summary")
+	}
+	t.Logf("chaos report:\n%s", summary)
+}

@@ -1,0 +1,108 @@
+package valserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"fedshap"
+	"fedshap/internal/experiments"
+)
+
+// TestSubmitBatchMixedAdmission drives POST /v1/jobs:batch end to end:
+// valid jobs are admitted in order, invalid ones are rejected in place,
+// and a queue at capacity rejects the overflow suffix without disturbing
+// the admitted prefix.
+func TestSubmitBatchMixedAdmission(t *testing.T) {
+	gate := make(chan struct{})
+	m, err := NewManager(Config{
+		Workers:  1,
+		QueueCap: 2,
+		BuildProblem: func(req fedshap.JobRequest) (*experiments.Problem, error) {
+			<-gate // hold the single worker so queued jobs stay queued
+			return gameBuilder(0, nil)(req)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	defer close(gate) // LIFO: release the held worker before Close drains the pool
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	client := fedshap.NewServiceClient(srv.URL)
+	ctx := context.Background()
+
+	ok := fedshap.JobRequest{N: 4, Algorithm: "ipss", Gamma: 4}
+	bad := fedshap.JobRequest{N: 1, Algorithm: "ipss"} // n out of range
+	// Queue capacity 2 (one job is picked up by the held worker, leaving a
+	// slot): jobs 1, 2, 3 are admitted, the invalid job is rejected in
+	// place, and job 5 overflows the queue.
+	resp, err := client.SubmitBatch(ctx, []fedshap.JobRequest{ok, ok, ok, bad, ok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Jobs) != 5 {
+		t.Fatalf("batch answered %d items, want 5", len(resp.Jobs))
+	}
+	if resp.Accepted != 3 {
+		t.Errorf("accepted = %d, want 3", resp.Accepted)
+	}
+	for i := 0; i < 3; i++ {
+		if resp.Jobs[i].Status == nil || resp.Jobs[i].Error != "" {
+			t.Errorf("item %d: status=%v error=%q, want accepted", i, resp.Jobs[i].Status, resp.Jobs[i].Error)
+		}
+	}
+	if resp.Jobs[3].Status != nil || resp.Jobs[3].Error == "" {
+		t.Errorf("invalid item accepted: %+v", resp.Jobs[3])
+	}
+	if resp.Jobs[4].Status != nil || resp.Jobs[4].Error == "" {
+		t.Errorf("overflow item accepted: %+v", resp.Jobs[4])
+	}
+	// Admitted jobs are real: visible over the single-job API.
+	for i := 0; i < 3; i++ {
+		if _, err := client.Job(ctx, resp.Jobs[i].Status.ID); err != nil {
+			t.Errorf("admitted job %d not found: %v", i, err)
+		}
+	}
+}
+
+// TestSubmitBatchRejectsMalformed covers the whole-batch rejections:
+// empty batches, oversized batches and unparsable bodies.
+func TestSubmitBatchRejectsMalformed(t *testing.T) {
+	m, err := NewManager(Config{Workers: 1, BuildProblem: gameBuilder(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	post := func(body []byte) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/jobs:batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post([]byte(`{"jobs": []}`)); code != http.StatusBadRequest {
+		t.Errorf("empty batch → HTTP %d, want 400", code)
+	}
+	if code := post([]byte(`{not json`)); code != http.StatusBadRequest {
+		t.Errorf("malformed body → HTTP %d, want 400", code)
+	}
+	big := fedshap.BatchRequest{Jobs: make([]fedshap.JobRequest, fedshap.MaxBatchJobs+1)}
+	raw, err := json.Marshal(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := post(raw); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch → HTTP %d, want 413", code)
+	}
+}

@@ -16,6 +16,7 @@ import (
 // NewHandler exposes a Manager as the fedvald JSON API:
 //
 //	POST   /v1/jobs             submit a job (fedshap.JobRequest → JobStatus)
+//	POST   /v1/jobs:batch       submit many jobs in one request (per-item admission)
 //	GET    /v1/jobs             list jobs, newest first (?since=, ?limit= paginate)
 //	GET    /v1/jobs/{id}        poll one job's status and progress
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
@@ -66,6 +67,39 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, st)
+	})
+	// Batch submission: one round trip for a burst of jobs. Admission is
+	// per-item — the response aligns 1:1 with the request and mixes
+	// accepted statuses with rejection messages — so load generators and
+	// tenant onboarding bursts don't serialise on per-job round trips. The
+	// whole batch is rejected (400/413) only when it is empty, oversized,
+	// or unparsable.
+	mux.HandleFunc("POST /v1/jobs:batch", func(w http.ResponseWriter, r *http.Request) {
+		var batch fedshap.BatchRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&batch); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+			return
+		}
+		if len(batch.Jobs) == 0 {
+			writeError(w, http.StatusBadRequest, "empty batch: provide at least one job")
+			return
+		}
+		if len(batch.Jobs) > fedshap.MaxBatchJobs {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch of %d jobs exceeds the limit %d", len(batch.Jobs), fedshap.MaxBatchJobs))
+			return
+		}
+		statuses, errs := m.SubmitBatch(batch.Jobs)
+		resp := fedshap.BatchResponse{Jobs: make([]fedshap.BatchItem, len(statuses))}
+		for i := range statuses {
+			if errs[i] != nil {
+				resp.Jobs[i].Error = errs[i].Error()
+				continue
+			}
+			resp.Jobs[i].Status = statuses[i]
+			resp.Accepted++
+		}
+		writeJSON(w, http.StatusOK, &resp)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()

@@ -1,0 +1,175 @@
+package valserve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fedshap"
+)
+
+// submitQuickJobs submits n fast additive-game jobs and waits for all of
+// them to finish, returning their IDs in submission (ordinal) order.
+func submitQuickJobs(t *testing.T, m *Manager, n int) []string {
+	t.Helper()
+	ids := make([]string, n)
+	for i := range ids {
+		st, err := m.Submit(fedshap.JobRequest{N: 4, Algorithm: "ipss", Gamma: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	for _, id := range ids {
+		waitState(t, m, id, terminal)
+	}
+	return ids
+}
+
+// TestListSinceTieBreakWalk forces every job onto one SubmittedAt
+// timestamp and walks the list with the composite (SubmittedAt, ID)
+// cursor: each page must continue exactly where the previous one ended,
+// visiting every job exactly once — the tie-break the ID ordinal
+// provides. A plain timestamp cursor over the same population returns
+// nothing, which is why clients paginate by job ID.
+func TestListSinceTieBreakWalk(t *testing.T) {
+	m, err := NewManager(Config{Workers: 2, BuildProblem: gameBuilder(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ids := submitQuickJobs(t, m, 6)
+
+	// Force the degenerate case pagination must survive: every job shares
+	// one submission timestamp (same-instant burst submissions quantised
+	// by clock resolution produce this for real).
+	shared := time.Now().UTC().Truncate(time.Second)
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		j.status.SubmittedAt = shared
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+
+	var visited []string
+	cursor := ids[0]
+	for {
+		page, err := m.ListSince(cursor, 2)
+		if err != nil {
+			t.Fatalf("ListSince(%s): %v", cursor, err)
+		}
+		if len(page) == 0 {
+			break
+		}
+		for _, st := range page {
+			visited = append(visited, st.ID)
+		}
+		cursor = page[len(page)-1].ID
+	}
+	if len(visited) != len(ids)-1 {
+		t.Fatalf("walk visited %d jobs %v, want the %d after %s", len(visited), visited, len(ids)-1, ids[0])
+	}
+	for i, id := range visited {
+		if id != ids[i+1] {
+			t.Errorf("walk position %d = %s, want %s (skip or repeat at a shared timestamp)", i, id, ids[i+1])
+		}
+	}
+
+	// A timestamp-only cursor is strictly-after and excludes the whole
+	// equal-timestamp cohort.
+	page, err := m.ListSince(shared.Format(time.RFC3339Nano), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 0 {
+		t.Errorf("timestamp cursor returned %d jobs from the equal-timestamp cohort, want 0", len(page))
+	}
+}
+
+// TestListSinceLimitZero: limit 0 (and any non-positive limit) means "no
+// limit", both from the manager API and over HTTP with ?limit=0.
+func TestListSinceLimitZero(t *testing.T) {
+	m, err := NewManager(Config{Workers: 2, BuildProblem: gameBuilder(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ids := submitQuickJobs(t, m, 4)
+
+	all, err := m.ListSince("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(ids) {
+		t.Errorf("ListSince(\"\", 0) = %d jobs, want %d", len(all), len(ids))
+	}
+	after, err := m.ListSince(ids[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(ids)-1 {
+		t.Errorf("ListSince(%s, 0) = %d jobs, want %d", ids[0], len(after), len(ids)-1)
+	}
+
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/jobs?limit=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("?limit=0 → HTTP %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestListSinceExpiredCursor: a cursor job that the TTL sweep collected
+// is an unknown ID — ErrNotFound from the manager, 404 over HTTP — not a
+// silent restart-from-the-beginning, which would make a poller re-emit
+// every retained job.
+func TestListSinceExpiredCursor(t *testing.T) {
+	m, err := NewManager(Config{
+		Workers:      2,
+		JobTTL:       20 * time.Millisecond,
+		GCInterval:   time.Hour, // sweep manually
+		BuildProblem: gameBuilder(0, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ids := submitQuickJobs(t, m, 2)
+
+	time.Sleep(40 * time.Millisecond) // let both finished jobs pass their TTL
+	if n := m.SweepExpired(); n != 2 {
+		t.Fatalf("SweepExpired() = %d, want 2", n)
+	}
+	// Fresh traffic after the sweep: the list is non-empty, so a 404 below
+	// is about the cursor, not an empty daemon.
+	fresh := submitQuickJobs(t, m, 1)
+
+	if _, err := m.ListSince(ids[0], 0); err != ErrNotFound {
+		t.Errorf("ListSince(expired id) = %v, want ErrNotFound", err)
+	}
+
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/jobs?since=" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("?since=<expired> → HTTP %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/jobs?since=" + fresh[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("?since=<live> → HTTP %d, want 200", resp.StatusCode)
+	}
+}

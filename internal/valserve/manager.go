@@ -611,6 +611,21 @@ func (m *Manager) Submit(req fedshap.JobRequest) (*fedshap.JobStatus, error) {
 	return st, nil
 }
 
+// SubmitBatch validates and enqueues many jobs in one call — the
+// POST /v1/jobs:batch entry point. Admission is per-item and in request
+// order: each job is accepted or rejected independently, so a batch that
+// overflows the queue admits a prefix and reports ErrQueueFull for the
+// rest instead of failing whole. The returned slices align 1:1 with reqs;
+// exactly one of statuses[i] / errs[i] is non-nil.
+func (m *Manager) SubmitBatch(reqs []fedshap.JobRequest) (statuses []*fedshap.JobStatus, errs []error) {
+	statuses = make([]*fedshap.JobStatus, len(reqs))
+	errs = make([]error, len(reqs))
+	for i, req := range reqs {
+		statuses[i], errs[i] = m.Submit(req)
+	}
+	return statuses, errs
+}
+
 // Get returns the status of one job.
 func (m *Manager) Get(id string) (*fedshap.JobStatus, error) {
 	m.mu.Lock()

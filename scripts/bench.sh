@@ -20,6 +20,14 @@
 #   BenchmarkUtilityEval       τ, the per-coalition train+evaluate cost
 #   BenchmarkOraclePrefetch    the concurrent evaluation pool over the cache
 #
+# A fedvalload load stage follows the microbenchmarks and merges
+# service-level percentiles (LoadSubmitP50/95, LoadQueueWaitP50/95/99,
+# LoadJobLatencyP50/95/99, LoadNsPerCompletedJob) into the same point.
+# The full run doubles as the chaos acceptance: faults are injected
+# mid-load (daemon SIGKILL, worker kills, a partition) and the recovery
+# invariants are checked — a violation fails the script. -short and
+# -gate run a lighter fault-free load.
+#
 # Compare against the committed baseline of the previous PR with
 # scripts/bench_diff.sh (CI gates the smoke run on it); ns_per_op is
 # wall-clock, bytes/allocs come from -benchmem.
@@ -44,12 +52,38 @@ done
 
 pattern='BenchmarkFederationValue|BenchmarkIPSS$|BenchmarkUtilityEval|BenchmarkOraclePrefetch'
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+loadlines=$(mktemp)
+bindir=$(mktemp -d)
+trap 'rm -rf "$raw" "$loadlines" "$bindir"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count 1 \
 	. ./internal/utility | tee "$raw" >&2
 
-awk -v pr="$pr" -v go_version="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+# Load stage: fedvalload replays multi-tenant traffic against a freshly
+# spawned daemon stack and contributes service-level percentiles
+# (LoadJobLatencyP99 etc.) to the same trajectory point the
+# microbenchmarks land on. The full run is the chaos acceptance — one
+# daemon SIGKILL, two worker kills, one partition, recovery invariants
+# checked; -short/-gate run a lighter fault-free load.
+go build -o "$bindir/" ./cmd/fedvald ./cmd/fedvalworker ./cmd/fedvalload >&2
+case "$benchtime" in
+1x | 200ms)
+	"$bindir/fedvalload" -spawn -jobs 24 -concurrency 6 -batch 3 \
+		-fingerprints 4 -fleet 2 -gammas 4,6 \
+		-fedvald "$bindir/fedvald" -fedvalworker "$bindir/fedvalworker" \
+		-bench-out "$loadlines" >&2
+	;;
+*)
+	"$bindir/fedvalload" -chaos -jobs 80 -concurrency 8 -batch 4 \
+		-fingerprints 6 -fleet 2 -daemon-kills 1 -worker-kills 2 -partitions 1 \
+		-n 6 -gammas 10,16 \
+		-fedvald "$bindir/fedvald" -fedvalworker "$bindir/fedvalworker" \
+		-bench-out "$loadlines" >&2
+	;;
+esac
+
+awk -v pr="$pr" -v go_version="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v loadfile="$loadlines" '
 BEGIN { n = 0 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
@@ -69,6 +103,12 @@ BEGIN { n = 0 }
 	bench[n++] = line
 }
 END {
+	# Merge the load stage lines (same line-shaped objects, commas
+	# re-derived below so the array stays valid JSON).
+	while ((getline line < loadfile) > 0) {
+		sub(/,$/, "", line)
+		if (line ~ /"name"/) bench[n++] = line
+	}
 	printf "{\n"
 	printf "  \"pr\": %s,\n", pr
 	printf "  \"date\": \"%s\",\n", date

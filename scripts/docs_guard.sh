@@ -12,7 +12,7 @@ status=0
 # Documented routes look like "GET /v1/jobs/{id}/events"; the Go 1.22
 # ServeMux patterns in http.go use the identical spelling, so a plain
 # fixed-string grep is the staleness check.
-routes=$(grep -ohE '(GET|POST|DELETE) /(v1/[A-Za-z0-9/{}_-]*|healthz)' \
+routes=$(grep -ohE '(GET|POST|DELETE) /(v1/[A-Za-z0-9/{}:_-]*|healthz)' \
 	README.md OPERATIONS.md docs/api.md | sort -u)
 while IFS= read -r route; do
 	[ -n "$route" ] || continue

@@ -64,6 +64,36 @@ type JobRequest struct {
 	Workers int `json:"workers,omitempty"`
 }
 
+// BatchRequest is the body of POST /v1/jobs:batch: many job submissions
+// in one round trip, the shape a load generator or a tenant onboarding
+// burst wants. Jobs are admitted independently — one invalid or
+// queue-rejected job never blocks its neighbours.
+type BatchRequest struct {
+	// Jobs are the submissions, in order. The daemon caps a batch at
+	// MaxBatchJobs entries.
+	Jobs []JobRequest `json:"jobs"`
+}
+
+// MaxBatchJobs bounds one BatchRequest; larger batches are rejected whole
+// with HTTP 413 (split them client-side).
+const MaxBatchJobs = 256
+
+// BatchItem is the outcome of one submission inside a batch: exactly one
+// of Status (accepted) or Error (rejected) is set.
+type BatchItem struct {
+	Status *JobStatus `json:"status,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// BatchResponse answers POST /v1/jobs:batch. Items align 1:1 with the
+// request's Jobs slice.
+type BatchResponse struct {
+	// Accepted counts items carrying a Status.
+	Accepted int `json:"accepted"`
+	// Jobs holds each submission's outcome, in request order.
+	Jobs []BatchItem `json:"jobs"`
+}
+
 // JobStatus is the service's view of one job.
 type JobStatus struct {
 	// ID is the server-assigned job identifier.
@@ -321,6 +351,19 @@ func (c *ServiceClient) Submit(ctx context.Context, req JobRequest) (*JobStatus,
 		return nil, err
 	}
 	return &st, nil
+}
+
+// SubmitBatch enqueues many jobs in one POST /v1/jobs:batch round trip.
+// Admission is per-item: the response carries one BatchItem per request
+// job, each a status or a rejection message, so a partially full queue
+// accepts what fits. The call errors only when the batch itself is
+// rejected (empty, oversized, or the daemon is unreachable).
+func (c *ServiceClient) SubmitBatch(ctx context.Context, reqs []JobRequest) (*BatchResponse, error) {
+	var resp BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs:batch", BatchRequest{Jobs: reqs}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Job fetches the current status of one job.
