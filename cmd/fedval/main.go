@@ -47,6 +47,13 @@ type jsonResult struct {
 	Values      []float64 `json:"values"`
 	Exact       []float64 `json:"exact,omitempty"`
 	L2Error     *float64  `json:"l2_error,omitempty"`
+
+	// Anytime fields, present when the job ran with -confidence.
+	Confidence    float64   `json:"confidence,omitempty"`
+	CILow         []float64 `json:"ci_low,omitempty"`
+	CIHigh        []float64 `json:"ci_high,omitempty"`
+	EarlyStopped  bool      `json:"early_stopped,omitempty"`
+	BudgetUnspent int       `json:"budget_unspent,omitempty"`
 }
 
 func main() {
@@ -69,6 +76,9 @@ func main() {
 		showTrace    = flag.Bool("trace", false, "in -server mode, fetch the job's trace timeline after it finishes and print it to stderr")
 		poll         = flag.Duration("poll", 300*time.Millisecond, "polling-fallback interval in -server mode (progress normally streams over server-sent events)")
 		workers      = flag.Int("workers", 0, "concurrent coalition evaluations in -server mode (0 = daemon default)")
+		confidence   = flag.Float64("confidence", 0, "in -server mode, stream anytime confidence intervals at this simultaneous level, e.g. 0.9 (0 = off)")
+		rankStop     = flag.Bool("rank-stop", false, "in -server mode, stop the job early once every pairwise client ranking is resolved at -confidence (plan-exhaustive algorithms only)")
+		watchValues  = flag.Bool("watch-values", false, "in -server mode, print each interim values snapshot as it streams in")
 		evalWorkers  = flag.Int("eval-workers", 1, "concurrent coalition evaluations in local mode: the algorithm's deterministic sampling plan is trained on this many workers, bit-identically to serial (0 = all cores, 1 = serial)")
 		trainWorkers = flag.Int("train-workers", 0, "concurrent per-client local trainings inside each FL round in local mode (<= 1 trains serially; results are bit-identical at any value)")
 	)
@@ -81,19 +91,24 @@ func main() {
 		if *compare {
 			fatal(errors.New("-compare is not available in -server mode"))
 		}
+		if *watchValues && *confidence == 0 {
+			fatal(errors.New("-watch-values requires -confidence (values events stream only for anytime jobs)"))
+		}
 		runRemote(*server, fedshap.JobRequest{
-			Data:      *data,
-			Setup:     *setup,
-			Noise:     *noise,
-			Model:     *modelKind,
-			N:         *n,
-			Algorithm: *algName,
-			Gamma:     *gamma,
-			K:         *k,
-			Seed:      *seed,
-			Scale:     *scaleName,
-			Workers:   *workers,
-		}, *jsonOut, *showTrace, *poll)
+			Data:       *data,
+			Setup:      *setup,
+			Noise:      *noise,
+			Model:      *modelKind,
+			N:          *n,
+			Algorithm:  *algName,
+			Gamma:      *gamma,
+			K:          *k,
+			Seed:       *seed,
+			Scale:      *scaleName,
+			Workers:    *workers,
+			Confidence: *confidence,
+			RankStop:   *rankStop,
+		}, *jsonOut, *showTrace, *watchValues, *poll)
 		return
 	}
 
@@ -182,7 +197,7 @@ func main() {
 // stream is unavailable (older daemon, proxy in the way) the client falls
 // back to polling at the -poll interval. Ctrl-C cancels the remote job
 // before exiting.
-func runRemote(server string, req fedshap.JobRequest, jsonOut, showTrace bool, poll time.Duration) {
+func runRemote(server string, req fedshap.JobRequest, jsonOut, showTrace, watchValues bool, poll time.Duration) {
 	client := fedshap.NewServiceClient(server)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -205,7 +220,20 @@ func runRemote(server string, req fedshap.JobRequest, jsonOut, showTrace bool, p
 				s.State, s.FreshEvals, s.Budget, s.WarmedCoalitions)
 		}
 	}
-	st, err = client.WatchJob(ctx, jobID, func(event string, s *fedshap.JobStatus) { show(s) })
+	// Interim anytime snapshots ride the same event stream as lifecycle
+	// events; -watch-values prints each one as a compact interval line.
+	var onValues func(*fedshap.InterimValues)
+	if watchValues {
+		onValues = func(iv *fedshap.InterimValues) {
+			parts := make([]string, len(iv.Values))
+			for i, v := range iv.Values {
+				parts[i] = fmt.Sprintf("%s=%.3f[%.3f,%.3f]", iv.Names[i], v, iv.CILow[i], iv.CIHigh[i])
+			}
+			fmt.Fprintf(os.Stderr, "fedval: values  seen %d/%d resolved=%v  %s\n",
+				iv.SeenCoalitions, iv.PlannedCoalitions, iv.Resolved, strings.Join(parts, " "))
+		}
+	}
+	st, err = client.WatchValues(ctx, jobID, func(event string, s *fedshap.JobStatus) { show(s) }, onValues)
 	if err != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "fedval: event stream unavailable (%v); falling back to polling\n", err)
 		st, err = client.Wait(ctx, jobID, poll, show)
@@ -247,11 +275,16 @@ func runRemote(server string, req fedshap.JobRequest, jsonOut, showTrace bool, p
 	rep := st.Report
 	if jsonOut {
 		out := jsonResult{
-			Problem:     st.Problem,
-			Algorithm:   rep.Algorithm,
-			Seconds:     rep.Seconds,
-			Evaluations: rep.Evaluations,
-			Values:      rep.Values,
+			Problem:       st.Problem,
+			Algorithm:     rep.Algorithm,
+			Seconds:       rep.Seconds,
+			Evaluations:   rep.Evaluations,
+			Values:        rep.Values,
+			Confidence:    rep.Confidence,
+			CILow:         rep.CILow,
+			CIHigh:        rep.CIHigh,
+			EarlyStopped:  rep.EarlyStopped,
+			BudgetUnspent: rep.BudgetUnspent,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -264,10 +297,23 @@ func runRemote(server string, req fedshap.JobRequest, jsonOut, showTrace bool, p
 	fmt.Printf("algorithm:  %s\n", rep.Algorithm)
 	fmt.Printf("time:       %.3fs   fresh coalition evaluations: %d (warm-cached %d)\n",
 		rep.Seconds, rep.Evaluations, st.WarmedCoalitions)
+	if rep.EarlyStopped {
+		fmt.Printf("early stop: rankings resolved at confidence %.2f; %d of %d budgeted evaluations unspent\n",
+			rep.Confidence, rep.BudgetUnspent, st.Budget)
+	}
 	fmt.Println()
-	fmt.Printf("%-10s %12s\n", "client", "value")
+	hasCI := len(rep.CILow) == len(rep.Values) && len(rep.CIHigh) == len(rep.Values) && len(rep.Values) > 0
+	fmt.Printf("%-10s %12s", "client", "value")
+	if hasCI {
+		fmt.Printf(" %12s %12s", "ci-low", "ci-high")
+	}
+	fmt.Println()
 	for i, v := range rep.Values {
-		fmt.Printf("%-10s %12.4f\n", rep.Names[i], v)
+		fmt.Printf("%-10s %12.4f", rep.Names[i], v)
+		if hasCI {
+			fmt.Printf(" %12.4f %12.4f", rep.CILow[i], rep.CIHigh[i])
+		}
+		fmt.Println()
 	}
 }
 

@@ -338,6 +338,24 @@ type Report struct {
 	Seconds float64 `json:"seconds"`
 	// Evaluations is the number of distinct coalitions trained+evaluated.
 	Evaluations int `json:"evaluations"`
+	// Confidence is the simultaneous confidence level of the anytime
+	// fields below; 0 when the job ran without anytime tracking.
+	Confidence float64 `json:"confidence,omitempty"`
+	// AnytimeValues are the tracker's final per-client estimates. For a
+	// run that completed its plan they coincide with Values up to the
+	// algorithm's own estimator; for an early-stopped run they ARE the
+	// reported values.
+	AnytimeValues []float64 `json:"anytime_values,omitempty"`
+	// CILow/CIHigh bound each client's value simultaneously at
+	// Confidence.
+	CILow  []float64 `json:"ci_low,omitempty"`
+	CIHigh []float64 `json:"ci_high,omitempty"`
+	// EarlyStopped reports that sampling halted before the plan ran dry
+	// because every pairwise ranking resolved at Confidence.
+	EarlyStopped bool `json:"early_stopped,omitempty"`
+	// BudgetUnspent is the part of the sampling budget γ an early stop
+	// left unspent (0 otherwise).
+	BudgetUnspent int `json:"budget_unspent,omitempty"`
 }
 
 // Value runs a valuation algorithm against a fresh utility oracle.

@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"testing"
 	"time"
@@ -166,7 +167,7 @@ func TestGenerateDeterministicAndMixed(t *testing.T) {
 		t.Fatalf("generated %d / %d requests, want 200", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("request %d differs between equal-seed runs: %+v vs %+v", i, a[i], b[i])
 		}
 	}

@@ -1,0 +1,72 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentilesEdges pins the nearest-rank estimator on the degenerate
+// populations a short or failed load run produces: no samples, a single
+// sample, an all-equal population, and samples so small that p95/p99
+// clamp onto the maximum. The nearest-rank index is
+// int(p*n + 0.5) - 1 clamped into [0, n-1], so for n ≤ 10 every high
+// quantile is simply the max — these tests make that contract explicit.
+func TestPercentilesEdges(t *testing.T) {
+	ms := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sample []time.Duration
+		want   Percentiles
+	}{
+		{name: "empty", sample: nil, want: Percentiles{}},
+		{name: "empty non-nil", sample: []time.Duration{}, want: Percentiles{}},
+		{
+			name:   "single sample",
+			sample: ms(10),
+			want:   Percentiles{Count: 1, P50: 0.010, P95: 0.010, P99: 0.010, Max: 0.010, Mean: 0.010},
+		},
+		{
+			name:   "all equal",
+			sample: ms(7, 7, 7, 7, 7),
+			want:   Percentiles{Count: 5, P50: 0.007, P95: 0.007, P99: 0.007, Max: 0.007, Mean: 0.007},
+		},
+		{
+			// n=2: p50 ranks onto the lower sample, p95/p99 onto the max.
+			name:   "two samples",
+			sample: ms(100, 1),
+			want:   Percentiles{Count: 2, P50: 0.001, P95: 0.100, P99: 0.100, Max: 0.100, Mean: 0.0505},
+		},
+		{
+			// n=3 unsorted: the estimator sorts; p50 is the middle sample.
+			name:   "three samples unsorted",
+			sample: ms(3, 1, 2),
+			want:   Percentiles{Count: 3, P50: 0.002, P95: 0.003, P99: 0.003, Max: 0.003, Mean: 0.002},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := percentilesOf(tc.sample)
+			near := func(a, b float64) bool { d := a - b; return d > -1e-12 && d < 1e-12 }
+			if got.Count != tc.want.Count ||
+				!near(got.P50, tc.want.P50) || !near(got.P95, tc.want.P95) ||
+				!near(got.P99, tc.want.P99) || !near(got.Max, tc.want.Max) ||
+				!near(got.Mean, tc.want.Mean) {
+				t.Errorf("percentilesOf(%v) = %+v, want %+v", tc.sample, got, tc.want)
+			}
+		})
+	}
+
+	// percentilesOf must not reorder the caller's slice: the report keeps
+	// raw latencies in arrival order for the trajectory output.
+	orig := ms(5, 1, 3)
+	percentilesOf(orig)
+	if orig[0] != 5*time.Millisecond || orig[1] != 1*time.Millisecond || orig[2] != 3*time.Millisecond {
+		t.Errorf("percentilesOf mutated its input: %v", orig)
+	}
+}

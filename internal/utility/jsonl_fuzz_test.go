@@ -1,0 +1,65 @@
+package utility
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzScanJSONL feeds arbitrary file contents — valid JSONL, binary
+// garbage, torn tails, pathological newline runs — through ScanJSONL and
+// checks it against the contract the journal and store recovery paths
+// rely on: never panic, and deliver every line (including a torn,
+// unterminated final one) intact and in order. Inputs at or beyond the
+// per-line size limit are out of contract (ScanJSONL reports ErrTooLong
+// for those) and are skipped.
+func FuzzScanJSONL(f *testing.F) {
+	f.Add([]byte(`{"lo":1,"hi":0,"u":0.5}` + "\n"))
+	f.Add([]byte("{\"u\":1}\n{\"u\":2}\n{\"u\":3"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00, '\n', '{'})
+	f.Add(bytes.Repeat([]byte("a"), 4096))
+	f.Add([]byte("{\"u\":1}\r\n{\"u\":2}\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) >= maxJSONLLine {
+			t.Skip("single lines beyond the scan limit are out of contract")
+		}
+		path := filepath.Join(t.TempDir(), "fuzz.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got [][]byte
+		err := ScanJSONL(path, func(line []byte) {
+			got = append(got, append([]byte(nil), line...))
+		})
+		if err != nil {
+			t.Fatalf("ScanJSONL: %v", err)
+		}
+
+		// Reference semantics: the file split on '\n' (one trailing '\r'
+		// stripped per line, matching bufio.ScanLines), without the
+		// phantom empty line after a final newline.
+		var want [][]byte
+		rest := data
+		for len(rest) > 0 {
+			nl := bytes.IndexByte(rest, '\n')
+			var line []byte
+			if nl < 0 {
+				line, rest = rest, nil
+			} else {
+				line, rest = rest[:nl], rest[nl+1:]
+			}
+			want = append(want, bytes.TrimSuffix(line, []byte("\r")))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("delivered %d lines, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("line %d: got %q want %q", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -63,11 +63,12 @@ type Oracle struct {
 	// Entries inserted via Warm (e.g. from a persistent Store) are free.
 	evals atomic.Int64
 
-	// ctx, onEval, writeThrough and onHit are set before a run and read
-	// on the evaluation path; atomic.Value keeps them race-free against
-	// concurrent U calls from a prefetch pool.
+	// ctx, onEval, onEvalValue, writeThrough and onHit are set before a
+	// run and read on the evaluation path; atomic.Value keeps them
+	// race-free against concurrent U calls from a prefetch pool.
 	ctx          atomic.Value // context.Context
 	onEval       atomic.Value // func(total int)
+	onEvalValue  atomic.Value // func(combin.Coalition, float64)
 	writeThrough atomic.Value // func(combin.Coalition, float64)
 	onHit        atomic.Value // func(seconds float64)
 }
@@ -103,6 +104,16 @@ func (o *Oracle) SetContext(ctx context.Context) {
 // from evaluation workers and must be cheap and thread-safe.
 func (o *Oracle) OnEval(fn func(total int)) {
 	o.onEval.Store(fn)
+}
+
+// OnEvalValue registers a hook invoked with every fresh (coalition,
+// utility) pair — the marginal-attribution seam: an anytime tracker folds
+// each result into running per-client statistics as it lands. Unlike
+// WriteThrough (reserved for the persistent Store), this hook is for
+// in-process consumers. It may be called concurrently from evaluation
+// workers and must be cheap and thread-safe.
+func (o *Oracle) OnEvalValue(fn func(s combin.Coalition, u float64)) {
+	o.onEvalValue.Store(fn)
 }
 
 // WriteThrough registers a hook invoked with every fresh (coalition,
@@ -152,6 +163,9 @@ func (o *Oracle) U(s combin.Coalition) float64 {
 		total := int(o.evals.Add(1))
 		if fn, ok := o.onEval.Load().(func(int)); ok && fn != nil {
 			fn(total)
+		}
+		if fn, ok := o.onEvalValue.Load().(func(combin.Coalition, float64)); ok && fn != nil {
+			fn(s, v)
 		}
 		if fn, ok := o.writeThrough.Load().(func(combin.Coalition, float64)); ok && fn != nil {
 			fn(s, v)

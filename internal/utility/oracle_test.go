@@ -136,3 +136,28 @@ func TestSnapshot(t *testing.T) {
 		t.Errorf("snapshot content wrong")
 	}
 }
+
+func TestOnEvalValue(t *testing.T) {
+	o := NewOracle(3, func(s combin.Coalition) float64 { return float64(s.Size()) })
+	var mu sync.Mutex
+	got := make(map[combin.Coalition]float64)
+	o.OnEvalValue(func(s combin.Coalition, u float64) {
+		mu.Lock()
+		got[s] = u
+		mu.Unlock()
+	})
+	// Warmed entries must not fire the hook — only fresh evaluations carry
+	// new information for an anytime consumer.
+	o.Warm(map[combin.Coalition]float64{combin.Empty: 0})
+	a := combin.NewCoalition(0)
+	b := combin.NewCoalition(0, 1)
+	o.U(a)
+	o.U(b)
+	o.U(a) // cached: no second call
+	o.U(combin.Empty)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[a] != 1 || got[b] != 2 {
+		t.Fatalf("hook saw %v, want exactly {%v: 1, %v: 2}", got, a, b)
+	}
+}

@@ -17,8 +17,15 @@ type Event struct {
 	// failed or cancelled.
 	Type string
 	// Status is the job's status snapshot at the transition. For done
-	// events it includes the final Report.
+	// events it includes the final Report. Nil for values events, whose
+	// payload is Values instead.
 	Status *fedshap.JobStatus
+	// Values is the interim anytime snapshot carried by a values event
+	// (nil for lifecycle events). Values events share the job's Seq
+	// space, so Last-Event-ID resume covers them, but they are never
+	// journaled — they are derived, high-churn state the final report
+	// supersedes.
+	Values *fedshap.InterimValues
 	// Seq is the event's per-job sequence number, strictly increasing
 	// across the job's published events. The SSE layer emits it as the
 	// event id, which is what makes Last-Event-ID resume possible:

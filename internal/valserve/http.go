@@ -23,6 +23,7 @@ import (
 //	GET    /v1/jobs/{id}/events stream job events (Server-Sent Events)
 //	GET    /v1/jobs/{id}/report fetch a finished job's valuation report
 //	GET    /v1/jobs/{id}/trace  fetch a job's trace timeline (spans)
+//	POST   /v1/jobs/{id}/revalue submit a delta revaluation of a done job
 //	GET    /v1/workers          list attached remote evaluation workers
 //	GET    /metrics             operational snapshot (JSON; Prometheus text
 //	                            with Accept: text/plain or ?format=prometheus)
@@ -200,7 +201,14 @@ func NewHandler(m *Manager) http.Handler {
 				if !ev.Seed && !terminal && lastSeen > 0 && ev.Seq > 0 && ev.Seq <= lastSeen {
 					continue
 				}
-				data, err := json.Marshal(ev.Status)
+				// Values events carry an InterimValues snapshot instead of
+				// a JobStatus; everything else about the frame (id, resume
+				// filtering above) is shared with lifecycle events.
+				var payload any = ev.Status
+				if ev.Values != nil {
+					payload = ev.Values
+				}
+				data, err := json.Marshal(payload)
 				if err != nil {
 					continue
 				}
@@ -211,6 +219,33 @@ func NewHandler(m *Manager) http.Handler {
 				fl.Flush()
 			}
 		}
+	})
+	// Delta revaluation: bump the listed clients' dataset versions on a
+	// completed job's problem and resubmit it. Utilities of coalitions
+	// untouched by the change migrate to the new fingerprint first, so the
+	// follow-up job spends fresh trainings only where the data actually
+	// changed.
+	mux.HandleFunc("POST /v1/jobs/{id}/revalue", func(w http.ResponseWriter, r *http.Request) {
+		var req fedshap.RevalueRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+			return
+		}
+		st, err := m.Revalue(r.PathValue("id"), req.Changed)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrNotFound):
+				writeError(w, http.StatusNotFound, err.Error())
+			case errors.Is(err, ErrNotRevaluable):
+				writeError(w, http.StatusConflict, err.Error())
+			case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+			default:
+				writeError(w, http.StatusBadRequest, err.Error())
+			}
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		tr, err := m.Trace(r.PathValue("id"))

@@ -29,6 +29,9 @@ const (
 	EventDone      = "done"
 	EventFailed    = "failed"
 	EventCancelled = "cancelled"
+	// EventValues: an interim anytime snapshot (Event.Values) from a job
+	// running with Confidence set. Streamed over SSE, never journaled.
+	EventValues = "values"
 )
 
 // eventTypeForState maps a lifecycle state to the event type describing

@@ -173,3 +173,74 @@ func TestListSinceExpiredCursor(t *testing.T) {
 		t.Errorf("?since=<live> → HTTP %d, want 200", resp.StatusCode)
 	}
 }
+
+// TestListSinceCursorParsing is the table-driven contract for how the
+// since string is interpreted: empty means "newest first, truncated to
+// limit"; a string that parses as RFC3339(Nano) is a strictly-after time
+// cutoff; anything else is a job ID, and an unknown one is ErrNotFound —
+// malformed timestamps deliberately fall into the job-ID branch rather
+// than being guessed at, so a client typo surfaces as a 404 instead of a
+// silently-empty page.
+func TestListSinceCursorParsing(t *testing.T) {
+	m, err := NewManager(Config{Workers: 2, BuildProblem: gameBuilder(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ids := submitQuickJobs(t, m, 4)
+
+	t.Run("empty since truncates newest-first", func(t *testing.T) {
+		page, err := m.ListSince("", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page) != 2 || page[0].ID != ids[3] || page[1].ID != ids[2] {
+			got := make([]string, len(page))
+			for i, st := range page {
+				got[i] = st.ID
+			}
+			t.Errorf("ListSince(\"\", 2) = %v, want [%s %s]", got, ids[3], ids[2])
+		}
+	})
+
+	t.Run("malformed timestamps are unknown job IDs", func(t *testing.T) {
+		for _, since := range []string{
+			"not-a-time",
+			"2026-13-45T99:99:99Z", // RFC3339 shape, impossible fields
+			"2026-08-08",           // date only
+			"2026-08-08T10:00:00",  // missing zone
+			"2026-08-08 10:00:00Z", // space instead of T
+			"1754640000",           // unix seconds
+		} {
+			if _, err := m.ListSince(since, 0); err != ErrNotFound {
+				t.Errorf("ListSince(%q) = %v, want ErrNotFound", since, err)
+			}
+		}
+	})
+
+	t.Run("valid time cutoffs", func(t *testing.T) {
+		past := time.Now().Add(-time.Hour).UTC().Format(time.RFC3339Nano)
+		all, err := m.ListSince(past, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != len(ids) {
+			t.Fatalf("ListSince(past) = %d jobs, want %d", len(all), len(ids))
+		}
+		// Time-cursor pages come back oldest first, the order a poller
+		// replays them in.
+		for i, st := range all {
+			if st.ID != ids[i] {
+				t.Errorf("position %d = %s, want %s", i, st.ID, ids[i])
+			}
+		}
+		future := time.Now().Add(time.Hour).UTC().Format(time.RFC3339)
+		none, err := m.ListSince(future, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(none) != 0 {
+			t.Errorf("ListSince(future) = %d jobs, want 0", len(none))
+		}
+	})
+}

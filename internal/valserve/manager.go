@@ -316,6 +316,10 @@ var ErrClosed = errors.New("valserve: manager closed")
 // ErrNotFound is returned for unknown job IDs.
 var ErrNotFound = errors.New("valserve: job not found")
 
+// ErrNotRevaluable is returned by Revalue for jobs without a completed
+// report — only done jobs define a base problem to revalue against.
+var ErrNotRevaluable = errors.New("valserve: job is not revaluable")
+
 // NewManager opens the persistent store and the job journal (as
 // configured), replays the journal — restoring completed jobs and
 // requeuing interrupted ones — and starts the worker pool and the TTL
@@ -550,6 +554,12 @@ func (m *Manager) newID() string {
 // Submit validates, registers and enqueues a job, returning its initial
 // status.
 func (m *Manager) Submit(req fedshap.JobRequest) (*fedshap.JobStatus, error) {
+	return m.submit(req, "")
+}
+
+// submit is Submit with provenance: revalueOf, when non-empty, links the
+// new job back to the completed job it revalues (POST /v1/jobs/{id}/revalue).
+func (m *Manager) submit(req fedshap.JobRequest, revalueOf string) (*fedshap.JobStatus, error) {
 	Normalize(&req)
 	if err := ValidateRequest(req, m.cfg.BuildProblem != nil); err != nil {
 		return nil, err
@@ -575,6 +585,7 @@ func (m *Manager) Submit(req fedshap.JobRequest) (*fedshap.JobStatus, error) {
 		Fingerprint: Fingerprint(req),
 		Budget:      budgetFor(req),
 		SubmittedAt: time.Now().UTC(),
+		RevalueOf:   revalueOf,
 	}
 	j.enqueuedAt = j.status.SubmittedAt
 	j.trace.Event("submit", "daemon", "algorithm", req.Algorithm)
@@ -624,6 +635,99 @@ func (m *Manager) SubmitBatch(reqs []fedshap.JobRequest) (statuses []*fedshap.Jo
 		statuses[i], errs[i] = m.Submit(req)
 	}
 	return statuses, errs
+}
+
+// Revalue submits a delta-revaluation follow-up to a completed job: the
+// same valuation problem with the listed clients' dataset versions bumped
+// by one. Before the new job is enqueued, every persisted utility of the
+// old fingerprint whose coalition contains *none* of the changed clients
+// is migrated to the new fingerprint — those coalitions' training sets are
+// untouched by the change, so their utilities are still exact. The new job
+// then warm-starts from them and spends fresh evaluations only on
+// coalitions that actually include a changed client.
+func (m *Manager) Revalue(id string, changed []int) (*fedshap.JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	st := j.snapshot()
+	if st.State != fedshap.JobDone {
+		return nil, fmt.Errorf("%w: job %s is %s", ErrNotRevaluable, id, st.State)
+	}
+	req := st.Request
+	if len(changed) == 0 {
+		return nil, errors.New("revalue: changed client set is empty")
+	}
+	changedSet := make(map[int]bool, len(changed))
+	for _, c := range changed {
+		if c < 0 || c >= req.N {
+			return nil, fmt.Errorf("revalue: client %d out of range [0,%d)", c, req.N)
+		}
+		changedSet[c] = true
+	}
+	vers := make([]int, req.N)
+	copy(vers, req.Versions)
+	for c := range changedSet {
+		vers[c]++
+	}
+	req.Versions = vers
+	Normalize(&req)
+	if oldFp, newFp := st.Fingerprint, Fingerprint(req); m.store != nil && oldFp != newFp {
+		migrated, err := migrateDisjoint(m.store, oldFp, newFp, changedSet)
+		if err != nil {
+			// Migration is a warm-start optimisation: losing it costs
+			// retraining, not correctness, so it never blocks the job.
+			m.logger.Warn("revalue: store migration failed",
+				"job", id, "error", err.Error())
+		}
+		m.logger.Info("revalue: migrated store utilities",
+			"job", id, "migrated", migrated, "from", oldFp, "to", newFp)
+	}
+	nst, err := m.submit(req, id)
+	if err != nil {
+		return nil, err
+	}
+	if m.tel != nil {
+		m.tel.revaluations.Inc()
+	}
+	return nst, nil
+}
+
+// migrateDisjoint copies every persisted utility of oldFp whose coalition
+// is disjoint from the changed client set to newFp, skipping coalitions
+// the new fingerprint already holds. Returns the number migrated.
+func migrateDisjoint(store *utility.Store, oldFp, newFp string, changed map[int]bool) (int, error) {
+	old, err := store.Load(oldFp)
+	if err != nil || len(old) == 0 {
+		return 0, err
+	}
+	existing, err := store.Load(newFp)
+	if err != nil {
+		return 0, err
+	}
+	moved := 0
+	for s, u := range old {
+		touched := false
+		for c := range changed {
+			if s.Has(c) {
+				touched = true
+				break
+			}
+		}
+		if touched {
+			continue
+		}
+		if _, dup := existing[s]; dup {
+			continue
+		}
+		if err := store.Append(newFp, s, u); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
 }
 
 // Get returns the status of one job.
@@ -1169,6 +1273,51 @@ func (m *Manager) runJob(j *Job) {
 			evalWorkers = cap
 		}
 	}
+	// Anytime valuation: a requested confidence turns on interval
+	// tracking. Plan-exhaustive algorithms are *driven* — their complete
+	// seeded plan is evaluated chunk by chunk in plan order (replacing the
+	// prefetch pass below), streaming interim snapshots and, with
+	// rank_stop, finishing the job the moment every pairwise ranking is
+	// resolved. Algorithms without a complete plan get a passive observer
+	// hook: fresh evaluations feed the tracker in completion order and the
+	// intervals ride along on the final report, but the job never stops
+	// early (ValidateRequest already rejected rank_stop for them).
+	var any *anytimeState
+	planDriven := false
+	if req.Confidence > 0 {
+		if plan, ok := shapley.PlanFor(alg, p.N, req.Seed+2); ok && len(plan) > 0 && shapley.PlanExhaustive(alg) {
+			any = newAnytimeState(m, j, p.N, req.Confidence, plan)
+			planDriven = true
+			driveStart := time.Now()
+			driveSpan := j.trace.StartSpan("anytime_drive", "daemon")
+			driveSpan.SetInt("planned", int64(len(plan)))
+			driveSpan.SetInt("workers", int64(evalWorkers))
+			stopped, derr := any.drivePlan(j.ctx, oracle, plan, evalWorkers, req.RankStop)
+			driveSpan.End()
+			if derr != nil {
+				if errors.Is(derr, context.Canceled) || errors.Is(derr, context.DeadlineExceeded) {
+					j.finish(fedshap.JobCancelled, derr.Error(), nil)
+				} else {
+					j.finish(fedshap.JobFailed, derr.Error(), nil)
+				}
+				return
+			}
+			if stopped {
+				rep := any.report(alg.Name(), j.snapshot().Budget,
+					oracle.Evals(), time.Since(driveStart).Seconds())
+				if m.tel != nil {
+					m.tel.earlyStops.Inc()
+					m.tel.budgetSaved.Add(int64(rep.BudgetUnspent))
+				}
+				j.finish(fedshap.JobDone, "", rep)
+				return
+			}
+		} else {
+			any = newAnytimeState(m, j, p.N, req.Confidence, nil)
+			oracle.OnEvalValue(any.observe)
+		}
+	}
+
 	// Pipeline the algorithm's deterministic evaluation plan — the full
 	// seeded sampling sequence for the samplers, the certain set otherwise
 	// — through the job's evaluation pool (and, via the wrapped eval
@@ -1177,8 +1326,9 @@ func (m *Manager) runJob(j *Job) {
 	// seed the run's Context uses, so it is exactly the run's request
 	// sequence: values, budget metering and fresh-evaluation counts are
 	// untouched. Cancellation mid-prefetch falls through to shapley.Run,
-	// which reports it uniformly.
-	if evalWorkers > 1 {
+	// which reports it uniformly. An anytime plan drive already warmed the
+	// entire plan, so prefetching again would be a no-op.
+	if evalWorkers > 1 && !planDriven {
 		if plan, ok := shapley.PlanFor(alg, p.N, req.Seed+2); ok && len(plan) > 0 {
 			prefetchSpan := j.trace.StartSpan("prefetch", "daemon")
 			prefetchSpan.SetInt("planned", int64(len(plan)))
@@ -1215,13 +1365,17 @@ func (m *Manager) runJob(j *Job) {
 	}
 	names := make([]string, p.N)
 	for i := range names {
-		names[i] = fmt.Sprintf("client-%d", i)
+		names[i] = clientName(i)
 	}
-	j.finish(fedshap.JobDone, "", &fedshap.Report{
+	rep := &fedshap.Report{
 		Algorithm:   alg.Name(),
 		Values:      values,
 		Names:       names,
 		Seconds:     elapsed,
 		Evaluations: oracle.Evals(),
-	})
+	}
+	if any != nil {
+		any.decorate(rep)
+	}
+	j.finish(fedshap.JobDone, "", rep)
 }

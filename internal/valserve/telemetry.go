@@ -38,6 +38,11 @@ type telemetry struct {
 
 	evalsFresh  *obs.Counter
 	evalsWarmed *obs.Counter
+
+	valuesSnapshots *obs.Counter
+	earlyStops      *obs.Counter
+	budgetSaved     *obs.Counter
+	revaluations    *obs.Counter
 }
 
 // evalLatencyBuckets spans cache lookups (microseconds) through full
@@ -77,6 +82,15 @@ func newTelemetry(m *Manager) *telemetry {
 		"Coalition utilities produced, by kind: fresh trainings vs store-warmed preloads.", "kind", "fresh")
 	t.evalsWarmed = r.NewCounter("fedvald_evaluations_total",
 		"Coalition utilities produced, by kind: fresh trainings vs store-warmed preloads.", "kind", "warmed")
+
+	t.valuesSnapshots = r.NewCounter("fedvald_values_snapshots_total",
+		"Interim anytime value snapshots streamed over SSE.")
+	t.earlyStops = r.NewCounter("fedvald_early_stops_total",
+		"Jobs halted early because every pairwise ranking resolved at the requested confidence.")
+	t.budgetSaved = r.NewCounter("fedvald_budget_saved_evaluations_total",
+		"Planned coalition evaluations skipped by early stopping.")
+	t.revaluations = r.NewCounter("fedvald_revaluations_total",
+		"Delta revaluation jobs submitted via POST /v1/jobs/{id}/revalue.")
 
 	r.NewGaugeFunc("fedvald_queued_jobs", "Jobs currently queued.",
 		func() float64 { return float64(m.countState(fedshap.JobQueued)) })

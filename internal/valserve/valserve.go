@@ -33,9 +33,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"fedshap"
+	"fedshap/internal/dataset"
 	"fedshap/internal/evalnet"
 	"fedshap/internal/experiments"
 	"fedshap/internal/shapley"
@@ -79,6 +81,15 @@ func Normalize(req *fedshap.JobRequest) {
 	if req.K == 0 {
 		req.K = 2
 	}
+	// A version vector of all zeros is the base problem: canonicalise it
+	// to nil so it fingerprints (and compares) identically to a request
+	// that never mentioned versions.
+	for len(req.Versions) > 0 && req.Versions[len(req.Versions)-1] == 0 {
+		req.Versions = req.Versions[:len(req.Versions)-1]
+	}
+	if len(req.Versions) == 0 {
+		req.Versions = nil
+	}
 }
 
 // Fingerprint derives the persistent-cache key of a request's underlying
@@ -89,6 +100,19 @@ func Normalize(req *fedshap.JobRequest) {
 func Fingerprint(req fedshap.JobRequest) string {
 	canon := fmt.Sprintf("v1|data=%s|setup=%s|noise=%g|model=%s|n=%d|scale=%s|seed=%d",
 		req.Data, req.Setup, req.Noise, req.Model, req.N, req.Scale, req.Seed)
+	// Per-client dataset versions change the utility function, so they are
+	// problem-defining. The base vector (all zeros) is normalised away and
+	// keeps the historical canonical form — and therefore the cache
+	// contents — of version-less requests.
+	if len(req.Versions) > 0 {
+		canon += "|vers="
+		for i, v := range req.Versions {
+			if i > 0 {
+				canon += ","
+			}
+			canon += fmt.Sprint(v)
+		}
+	}
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:16])
 }
@@ -200,6 +224,30 @@ func ValidateRequest(req fedshap.JobRequest, lenientData bool) error {
 	if req.Gamma < 0 {
 		return fmt.Errorf("gamma=%d must be non-negative", req.Gamma)
 	}
+	if req.Confidence < 0 || req.Confidence >= 1 {
+		return fmt.Errorf("confidence=%g out of range [0,1); 0 disables anytime tracking", req.Confidence)
+	}
+	if req.RankStop {
+		if req.Confidence == 0 {
+			return fmt.Errorf("rank_stop requires confidence in (0,1)")
+		}
+		alg, _ := NewValuer(req.Algorithm, req.Gamma, req.K)
+		if alg == nil || !shapley.PlanExhaustive(alg) {
+			return fmt.Errorf("rank_stop requires an algorithm with a complete evaluation plan; %q exposes only a partial or utility-dependent plan", req.Algorithm)
+		}
+	}
+	if len(req.Versions) > 0 {
+		// Normalize trims trailing zeros, so a canonical vector may be
+		// shorter than n — clients past its end are at version 0.
+		if len(req.Versions) > req.N {
+			return fmt.Errorf("versions has %d entries for n=%d clients", len(req.Versions), req.N)
+		}
+		for i, v := range req.Versions {
+			if v < 0 {
+				return fmt.Errorf("versions[%d]=%d must be non-negative", i, v)
+			}
+		}
+	}
 	if lenientData {
 		return nil
 	}
@@ -286,14 +334,46 @@ func BuildProblem(req fedshap.JobRequest) (*experiments.Problem, error) {
 	if err != nil {
 		return nil, err
 	}
+	var p *experiments.Problem
 	switch req.Data {
 	case "femnist":
-		return experiments.NewFEMNISTProblem(req.N, kind, sc, req.Seed), nil
+		p = experiments.NewFEMNISTProblem(req.N, kind, sc, req.Seed)
 	case "adult":
-		return experiments.NewAdultProblem(req.N, kind, sc, req.Seed), nil
+		p = experiments.NewAdultProblem(req.N, kind, sc, req.Seed)
 	case "synthetic":
-		return experiments.NewSyntheticProblem(experiments.SyntheticSetup(req.Setup), req.N, kind, sc, req.Noise, req.Seed), nil
+		p = experiments.NewSyntheticProblem(experiments.SyntheticSetup(req.Setup), req.N, kind, sc, req.Noise, req.Seed)
 	default:
 		return nil, fmt.Errorf("unknown dataset %q", req.Data)
+	}
+	applyVersions(p, req)
+	return p, nil
+}
+
+// versionNoiseScale is the feature perturbation applied per client dataset
+// version step — large enough to move the utility function, small enough
+// that a revalued federation stays a perturbation of the base problem.
+const versionNoiseScale = 0.05
+
+// applyVersions perturbs each client dataset whose version is non-zero:
+// version v replaces client i's data with a clone of the base dataset
+// carrying feature noise seeded deterministically from (seed, i, v).
+// Deterministic per (seed, client, version) means revaluation jobs rebuild
+// bit-identical utility functions on every node — the worker fleet and
+// the daemon agree on every coalition, and the fingerprint store stays
+// coherent across restarts. Versions are not cumulative: v=2 is one
+// perturbation with the v=2 stream, not two stacked perturbations, so any
+// version is reachable directly.
+func applyVersions(p *experiments.Problem, req fedshap.JobRequest) {
+	if p == nil || p.Spec == nil || len(req.Versions) == 0 {
+		return
+	}
+	for i, v := range req.Versions {
+		if v <= 0 || i >= len(p.Spec.Clients) || p.Spec.Clients[i] == nil {
+			continue
+		}
+		d := p.Spec.Clients[i].Clone()
+		rng := rand.New(rand.NewSource(req.Seed ^ (int64(i)+1)*1_000_003 ^ int64(v)*8191))
+		dataset.AddFeatureNoise(d, versionNoiseScale, rng)
+		p.Spec.Clients[i] = d
 	}
 }

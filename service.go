@@ -62,6 +62,64 @@ type JobRequest struct {
 	// Workers bounds the job's concurrent coalition evaluations
 	// (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// Confidence, when in (0, 1), turns on anytime valuation: the job
+	// tracks running per-client estimates with simultaneous confidence
+	// intervals at this level and streams interim "values" events over
+	// GET /v1/jobs/{id}/events.
+	Confidence float64 `json:"confidence,omitempty"`
+	// RankStop, with Confidence set, stops sampling as soon as every
+	// pairwise client ranking is resolved at the requested confidence.
+	// Unspent budget is reported in Report.BudgetUnspent. Only algorithms
+	// exposing their complete evaluation plan support it.
+	RankStop bool `json:"rank_stop,omitempty"`
+	// Versions are per-client dataset version counters (len == N when
+	// set). Version 0 is the base dataset; bumping a client's version
+	// perturbs its partition deterministically. Delta revaluation (POST
+	// /v1/jobs/{id}/revalue) bumps versions for the changed clients and
+	// re-evaluates only the coalitions containing them.
+	Versions []int `json:"versions,omitempty"`
+}
+
+// RevalueRequest is the body of POST /v1/jobs/{id}/revalue: the set of
+// clients whose data changed since the referenced job ran. The daemon
+// submits a follow-up job whose version vector bumps exactly these clients,
+// warm-starting every coalition untouched by the change from the
+// fingerprint store.
+type RevalueRequest struct {
+	// Changed lists the 0-based client indices with new data.
+	Changed []int `json:"changed"`
+}
+
+// InterimValues is one anytime snapshot of a running job, streamed as a
+// "values" event on GET /v1/jobs/{id}/events: current per-client estimates
+// with simultaneous confidence intervals and progress through the
+// evaluation plan.
+type InterimValues struct {
+	// JobID is the job the snapshot belongs to.
+	JobID string `json:"job_id"`
+	// Names are the client display names, aligned with Values.
+	Names []string `json:"names,omitempty"`
+	// Values are the current per-client estimates.
+	Values []float64 `json:"values"`
+	// CILow/CIHigh bound each client's value: all n intervals hold
+	// simultaneously at the requested confidence, at every snapshot of
+	// the run (anytime validity).
+	CILow  []float64 `json:"ci_low"`
+	CIHigh []float64 `json:"ci_high"`
+	// Confidence echoes the requested simultaneous confidence level.
+	Confidence float64 `json:"confidence"`
+	// Observations counts marginal contributions folded per client.
+	Observations []int `json:"observations,omitempty"`
+	// SeenCoalitions / PlannedCoalitions measure progress through the
+	// evaluation plan (PlannedCoalitions is 0 when the algorithm exposes
+	// no complete plan).
+	SeenCoalitions    int `json:"seen_coalitions"`
+	PlannedCoalitions int `json:"planned_coalitions,omitempty"`
+	// Resolved reports whether every pairwise client ranking is decided
+	// at the requested confidence.
+	Resolved bool `json:"resolved"`
+	// At stamps the snapshot.
+	At time.Time `json:"at"`
 }
 
 // BatchRequest is the body of POST /v1/jobs:batch: many job submissions
@@ -117,6 +175,9 @@ type JobStatus struct {
 	// RemoteWorkers is the size of the evaluation worker fleet the job
 	// started with; 0 means the job evaluates in-process.
 	RemoteWorkers int `json:"remote_workers,omitempty"`
+	// RevalueOf is the job ID this job revalues (set by POST
+	// /v1/jobs/{id}/revalue); empty for directly submitted jobs.
+	RevalueOf string `json:"revalue_of,omitempty"`
 	// Error describes a failure (state failed or cancelled).
 	Error string `json:"error,omitempty"`
 	// SubmittedAt/StartedAt/FinishedAt bound the job's lifecycle.
@@ -457,6 +518,21 @@ func (c *ServiceClient) Report(ctx context.Context, id string) (*Report, error) 
 	return &r, nil
 }
 
+// Revalue asks the daemon to revalue a finished job after the given
+// clients' data changed (POST /v1/jobs/{id}/revalue). It returns the status
+// of the newly submitted follow-up job, whose RevalueOf field links back to
+// id. Coalitions not containing a changed client are warm-started from the
+// fingerprint store, so the follow-up spends fresh evaluations only on the
+// changed part of the game.
+func (c *ServiceClient) Revalue(ctx context.Context, id string, changed []int) (*JobStatus, error) {
+	var st JobStatus
+	path := "/v1/jobs/" + url.PathEscape(id) + "/revalue"
+	if err := c.do(ctx, http.MethodPost, path, RevalueRequest{Changed: changed}, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
 // WatchJob subscribes to a job's server-sent event stream
 // (GET /v1/jobs/{id}/events) and returns its final status once the job
 // reaches a terminal state. onEvent, when non-nil, observes every
@@ -479,6 +555,18 @@ func (c *ServiceClient) Report(ctx context.Context, id string) (*Report, error) 
 // Cancelling ctx closes the stream and returns the last status seen
 // alongside ctx.Err().
 func (c *ServiceClient) WatchJob(ctx context.Context, id string, onEvent func(event string, st *JobStatus)) (*JobStatus, error) {
+	return c.watch(ctx, id, onEvent, nil)
+}
+
+// WatchValues is WatchJob plus a live feed of the job's anytime estimates:
+// onValues observes every interim "values" snapshot the daemon streams (a
+// job submitted without Confidence produces none). Reconnection and
+// terminal-status semantics match WatchJob.
+func (c *ServiceClient) WatchValues(ctx context.Context, id string, onEvent func(event string, st *JobStatus), onValues func(*InterimValues)) (*JobStatus, error) {
+	return c.watch(ctx, id, onEvent, onValues)
+}
+
+func (c *ServiceClient) watch(ctx context.Context, id string, onEvent func(event string, st *JobStatus), onValues func(*InterimValues)) (*JobStatus, error) {
 	var (
 		last        *JobStatus
 		lastEventID string
@@ -486,7 +574,7 @@ func (c *ServiceClient) WatchJob(ctx context.Context, id string, onEvent func(ev
 		lastErr     error
 	)
 	for stale < 3 {
-		st, alive, err := c.watchStream(ctx, id, lastEventID, &lastEventID, &last, onEvent)
+		st, alive, err := c.watchStream(ctx, id, lastEventID, &lastEventID, &last, onEvent, onValues)
 		if st != nil {
 			return st, nil
 		}
@@ -523,7 +611,7 @@ func (c *ServiceClient) WatchJob(ctx context.Context, id string, onEvent func(ev
 // pings, and those must not be mistaken for a dead daemon. lastID, when
 // non-empty, is sent as Last-Event-ID so the daemon resumes past events
 // the client already processed.
-func (c *ServiceClient) watchStream(ctx context.Context, id, lastID string, idOut *string, last **JobStatus, onEvent func(event string, st *JobStatus)) (*JobStatus, bool, error) {
+func (c *ServiceClient) watchStream(ctx context.Context, id, lastID string, idOut *string, last **JobStatus, onEvent func(event string, st *JobStatus), onValues func(*InterimValues)) (*JobStatus, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
 	if err != nil {
 		return nil, false, err
@@ -554,6 +642,19 @@ func (c *ServiceClient) watchStream(ctx context.Context, id, lastID string, idOu
 		case line == "": // blank line terminates one SSE frame
 			if len(data) == 0 {
 				continue // heartbeat comment or id-only frame
+			}
+			if event == "values" {
+				// Interim anytime snapshot: a different payload type, so it
+				// must never be decoded into the JobStatus tracking below.
+				var iv InterimValues
+				if json.Unmarshal(data, &iv) == nil {
+					alive = true
+					if onValues != nil {
+						onValues(&iv)
+					}
+				}
+				event, data = "", nil
+				continue
 			}
 			var st JobStatus
 			if json.Unmarshal(data, &st) == nil {
