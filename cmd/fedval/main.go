@@ -79,6 +79,7 @@ func main() {
 		confidence   = flag.Float64("confidence", 0, "in -server mode, stream anytime confidence intervals at this simultaneous level, e.g. 0.9 (0 = off)")
 		rankStop     = flag.Bool("rank-stop", false, "in -server mode, stop the job early once every pairwise client ranking is resolved at -confidence (plan-exhaustive algorithms only)")
 		watchValues  = flag.Bool("watch-values", false, "in -server mode, print each interim values snapshot as it streams in")
+		deadline     = flag.Duration("deadline", 0, "in -server mode, bound the job's run time once it starts executing; an overrunning job terminates as timed_out (0 = no deadline)")
 		evalWorkers  = flag.Int("eval-workers", 1, "concurrent coalition evaluations in local mode: the algorithm's deterministic sampling plan is trained on this many workers, bit-identically to serial (0 = all cores, 1 = serial)")
 		trainWorkers = flag.Int("train-workers", 0, "concurrent per-client local trainings inside each FL round in local mode (<= 1 trains serially; results are bit-identical at any value)")
 	)
@@ -95,19 +96,20 @@ func main() {
 			fatal(errors.New("-watch-values requires -confidence (values events stream only for anytime jobs)"))
 		}
 		runRemote(*server, fedshap.JobRequest{
-			Data:       *data,
-			Setup:      *setup,
-			Noise:      *noise,
-			Model:      *modelKind,
-			N:          *n,
-			Algorithm:  *algName,
-			Gamma:      *gamma,
-			K:          *k,
-			Seed:       *seed,
-			Scale:      *scaleName,
-			Workers:    *workers,
-			Confidence: *confidence,
-			RankStop:   *rankStop,
+			Data:            *data,
+			Setup:           *setup,
+			Noise:           *noise,
+			Model:           *modelKind,
+			N:               *n,
+			Algorithm:       *algName,
+			Gamma:           *gamma,
+			K:               *k,
+			Seed:            *seed,
+			Scale:           *scaleName,
+			Workers:         *workers,
+			Confidence:      *confidence,
+			RankStop:        *rankStop,
+			DeadlineSeconds: deadline.Seconds(),
 		}, *jsonOut, *showTrace, *watchValues, *poll)
 		return
 	}

@@ -56,6 +56,7 @@ import (
 
 	"fedshap/internal/evalnet"
 	"fedshap/internal/obs"
+	"fedshap/internal/resilience"
 	"fedshap/internal/valserve"
 )
 
@@ -71,6 +72,8 @@ func main() {
 		jobTTL       = flag.Duration("job-ttl", 0, "expire finished jobs this long after completion, e.g. 24h (0 keeps them forever)")
 		workerAddr   = flag.String("worker-addr", "", "listen address for remote evaluation workers (fedvalworker); empty disables the fleet")
 		speculate    = flag.Bool("speculate", true, "speculatively re-dispatch stragglers' in-flight coalitions to idle workers near job end (first result wins; values and budgets unchanged)")
+		taskDeadline = flag.Duration("task-deadline", 0, "requeue a fleet evaluation unanswered this long, independent of the straggler scan — rescues tasks on stalled workers whose connection stays open (0 disables)")
+		admitMark    = flag.Float64("admit-watermark", 0, "fraction of -queue at which submissions are rejected (429), keeping headroom for recovery requeues; 0 or 1 admits to full capacity")
 		compactEvery = flag.Duration("compact-every", 0, "background store+journal compaction interval, e.g. 1h (0 compacts only at startup and shutdown; requires exclusive ownership of the cache directory)")
 		sseHeartbeat = flag.Duration("sse-heartbeat", 15*time.Second, "idle heartbeat interval on SSE event streams so proxies keep them open (negative disables)")
 		pprofAddr    = flag.String("pprof", "", "diagnostics listener address serving /debug/pprof/ and Prometheus /metrics, kept off the API port (empty disables)")
@@ -89,24 +92,37 @@ func main() {
 		}
 		coord = evalnet.NewCoordinatorWith(evalnet.SchedulerConfig{
 			DisableSpeculation: !*speculate,
+			TaskDeadline:       *taskDeadline,
 			Logger:             logger,
 		})
 		go func() { _ = coord.Serve(wln) }()
 		fmt.Fprintf(os.Stderr, "fedvald: accepting evaluation workers on %s\n", wln.Addr())
 	}
 
+	// FEDVALD_FAULT_FILE arms the persistence fault switch: while a file
+	// exists at the named path, every journal and store write fails, so
+	// chaos tooling (and operators rehearsing the runbook) can force
+	// degraded, memory-only operation without actually filling a disk.
+	var fault *resilience.Hook
+	if path := os.Getenv("FEDVALD_FAULT_FILE"); path != "" {
+		fault = resilience.FileHook(path)
+		fmt.Fprintf(os.Stderr, "fedvald: persistence fault switch armed on %s\n", path)
+	}
+
 	mgr, err := valserve.NewManager(valserve.Config{
-		Workers:      *workers,
-		EvalWorkers:  *evalWorkers,
-		TrainWorkers: *trainWorkers,
-		QueueCap:     *queueCap,
-		CacheDir:     *cacheDir,
-		JournalPath:  *journal,
-		JobTTL:       *jobTTL,
-		CompactEvery: *compactEvery,
-		SSEHeartbeat: *sseHeartbeat,
-		Coordinator:  coord,
-		Logger:       logger,
+		Workers:        *workers,
+		EvalWorkers:    *evalWorkers,
+		TrainWorkers:   *trainWorkers,
+		QueueCap:       *queueCap,
+		AdmitWatermark: *admitMark,
+		CacheDir:       *cacheDir,
+		JournalPath:    *journal,
+		JobTTL:         *jobTTL,
+		CompactEvery:   *compactEvery,
+		SSEHeartbeat:   *sseHeartbeat,
+		Coordinator:    coord,
+		Fault:          fault,
+		Logger:         logger,
 	})
 	if err != nil {
 		fatal(err)

@@ -24,6 +24,16 @@
 //
 //	fedvalload -chaos -jobs 120 -fleet 3 -daemon-kills 1 -worker-kills 2 -partitions 1
 //
+// Three more fault types exercise the defense-in-depth resilience layer:
+// -disk-full forces a persistence failure window (the daemon must flip to
+// degraded memory-only operation, admit a canary job, and restore once
+// the fault clears), -stalls SIGSTOPs a fleet worker past the task
+// deadline (the reaper must requeue its frozen evaluations), and -flaps
+// kills the same worker repeatedly (the quarantine must bench it and
+// refuse the reattach):
+//
+//	fedvalload -chaos -jobs 120 -fleet 2 -disk-full 1 -stalls 1 -flaps 1
+//
 // The process exits 0 on success, 1 on harness errors, and 2 when a
 // chaos invariant is violated. -json writes the full report; -bench-out
 // writes the headline percentiles in the scripts/bench.sh line format so
@@ -76,6 +86,11 @@ func main() {
 		daemonKills  = flag.Int("daemon-kills", 1, "daemon SIGKILL+relaunch cycles under -chaos")
 		workerKills  = flag.Int("worker-kills", 2, "fleet worker SIGKILLs under -chaos")
 		partitions   = flag.Int("partitions", 1, "coordinator connection severances under -chaos")
+		diskFull     = flag.Int("disk-full", 0, "persistence fault windows under -chaos (daemon must degrade to memory-only and recover)")
+		stalls       = flag.Int("stalls", 0, "fleet worker SIGSTOP windows under -chaos (task deadline must rescue frozen evaluations)")
+		flaps        = flag.Int("flaps", 0, "repeated-death cycles on one fleet worker under -chaos (quarantine must bench it)")
+		stallFor     = flag.Duration("stall-for", 3*time.Second, "how long -stalls keeps a worker frozen")
+		taskDeadline = flag.Duration("task-deadline", 0, "spawned daemon's fedvald -task-deadline (0: 1s when -stalls is set, else fedvald's default)")
 	)
 	flag.Parse()
 
@@ -104,6 +119,8 @@ func main() {
 		fedvald: *fedvald, fedvalworker: *fedvalworker, dir: *dir,
 		fleet: *fleet, poolWorkers: *poolWorkers, queueCap: *queueCap,
 		daemonKills: *daemonKills, workerKills: *workerKills, partitions: *partitions,
+		diskFull: *diskFull, stalls: *stalls, flaps: *flaps,
+		stallFor: *stallFor, taskDeadline: *taskDeadline,
 		timeout: *timeout,
 	})
 	if err != nil {
@@ -134,6 +151,10 @@ type runOpts struct {
 	daemonKills           int
 	workerKills           int
 	partitions            int
+	diskFull              int
+	stalls, flaps         int
+	stallFor              time.Duration
+	taskDeadline          time.Duration
 	timeout               time.Duration
 }
 
@@ -206,6 +227,17 @@ func run(cfg loadgen.Config, opts runOpts) (*loadgen.Report, error) {
 	for i := range names {
 		names[i] = fmt.Sprintf("chaos-w%d", i)
 	}
+	// Disk-full faults need a fault file shared with the chaos daemon
+	// (the control daemon never sees it), and stalls need a task deadline
+	// shorter than the stall window or the frozen work is never rescued.
+	faultFile := ""
+	if opts.diskFull > 0 {
+		faultFile = filepath.Join(dir, "fault-disk-full")
+	}
+	if opts.stalls > 0 && stack.opts.taskDeadline == 0 {
+		stack.opts.taskDeadline = time.Second
+	}
+	stack.faultFile = faultFile
 	r, err := loadgen.NewRunner(cfg)
 	if err != nil {
 		return nil, err
@@ -223,7 +255,7 @@ func run(cfg loadgen.Config, opts runOpts) (*loadgen.Report, error) {
 				if err := os.MkdirAll(controlDir, 0o755); err != nil {
 					return nil, err
 				}
-				return stack.launchDaemon(controlDir, controlAddr, "")
+				return stack.launchControl(controlDir, controlAddr)
 			},
 		},
 		Client:        client,
@@ -233,6 +265,11 @@ func run(cfg loadgen.Config, opts runOpts) (*loadgen.Report, error) {
 		DaemonKills:   opts.daemonKills,
 		WorkerKills:   opts.workerKills,
 		Partitions:    opts.partitions,
+		DiskFull:      opts.diskFull,
+		Stalls:        opts.stalls,
+		Flaps:         opts.flaps,
+		FaultFile:     faultFile,
+		StallFor:      opts.stallFor,
 		Logf:          logf,
 	})
 }
@@ -244,10 +281,40 @@ type stack struct {
 	opts                runOpts
 	dir                 string
 	apiAddr, workerAddr string
+	faultFile           string
 	procs               []*exec.Cmd
 }
 
+// launchDaemon starts the daemon under load: it carries the task deadline
+// and, when disk-full faults are configured, the persistence fault switch.
 func (s *stack) launchDaemon(dir, apiAddr, workerAddr string) (*exec.Cmd, error) {
+	args := s.daemonArgs(dir, apiAddr, workerAddr)
+	if s.opts.taskDeadline > 0 && workerAddr != "" {
+		args = append(args, "-task-deadline", s.opts.taskDeadline.String())
+	}
+	cmd := exec.Command(s.opts.fedvald, args...)
+	if s.faultFile != "" {
+		cmd.Env = append(os.Environ(), "FEDVALD_FAULT_FILE="+s.faultFile)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", s.opts.fedvald, err)
+	}
+	return cmd, nil
+}
+
+// launchControl starts the undisturbed control daemon: no fleet, no fault
+// switch — it anchors the bit-identical comparison.
+func (s *stack) launchControl(dir, apiAddr string) (*exec.Cmd, error) {
+	cmd := exec.Command(s.opts.fedvald, s.daemonArgs(dir, apiAddr, "")...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", s.opts.fedvald, err)
+	}
+	return cmd, nil
+}
+
+func (s *stack) daemonArgs(dir, apiAddr, workerAddr string) []string {
 	args := []string{
 		"-addr", apiAddr,
 		"-workers", strconv.Itoa(s.opts.poolWorkers),
@@ -259,12 +326,7 @@ func (s *stack) launchDaemon(dir, apiAddr, workerAddr string) (*exec.Cmd, error)
 	if workerAddr != "" {
 		args = append(args, "-worker-addr", workerAddr)
 	}
-	cmd := exec.Command(s.opts.fedvald, args...)
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("start %s: %w", s.opts.fedvald, err)
-	}
-	return cmd, nil
+	return args
 }
 
 func (s *stack) launchWorker(name, coordinator string) (*exec.Cmd, error) {

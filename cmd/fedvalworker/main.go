@@ -12,11 +12,15 @@
 //
 //	fedvalworker -coordinator 10.0.0.5:8788 -capacity 4 -name rack1-a
 //
-// The worker reconnects with backoff when the coordinator restarts, and
-// exits cleanly on SIGINT/SIGTERM. -pprof starts a diagnostics listener
-// with /debug/pprof/ and a Prometheus /metrics exposing the worker's
-// evaluation counts (by outcome) and latency histogram; -log-level and
-// -log-format configure structured connection/spec logs on stderr.
+// The worker reconnects when the coordinator restarts, backing off with
+// jittered exponential delays capped at -retry so a restarted or
+// quarantining coordinator is not hammered by a thundering herd of
+// reconnects; a connection that actually served work resets the backoff.
+// It exits cleanly on SIGINT/SIGTERM. -pprof starts a diagnostics
+// listener with /debug/pprof/ and a Prometheus /metrics exposing the
+// worker's evaluation counts (by outcome) and latency histogram;
+// -log-level and -log-format configure structured connection/spec logs
+// on stderr.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 
 	"fedshap/internal/evalnet"
 	"fedshap/internal/obs"
+	"fedshap/internal/resilience"
 	"fedshap/internal/valserve"
 )
 
@@ -40,7 +45,7 @@ func main() {
 		capacity     = flag.Int("capacity", 0, "concurrent coalition evaluations (0 = GOMAXPROCS)")
 		trainWorkers = flag.Int("train-workers", 0, "concurrent per-client local trainings inside each FL round of one evaluation (<= 1 trains serially; pair -capacity 1 with -train-workers = cores for few-coalition jobs)")
 		name         = flag.String("name", "", "worker name in the fleet listing (default: hostname)")
-		retry        = flag.Duration("retry", 2*time.Second, "reconnect backoff after a lost coordinator")
+		retry        = flag.Duration("retry", 2*time.Second, "reconnect backoff cap after a lost coordinator: delays grow exponentially with full jitter from 100ms up to this")
 		warm         = flag.Bool("warm", true, "apply coordinator-shipped warm-start utilities instead of retraining them (disable only for debugging)")
 		pprofAddr    = flag.String("pprof", "", "diagnostics listener address serving /debug/pprof/ and Prometheus /metrics (empty disables)")
 		logLevel     = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
@@ -74,27 +79,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fedvalworker: diagnostics on http://%s/debug/pprof/\n", dbg.Addr())
 	}
 
+	logger := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	w := &evalnet.Worker{
 		Name:             *name,
 		Capacity:         cap,
 		Build:            valserve.WorkerEvaluatorWith(*trainWorkers),
 		DisableWarmStart: !*warm,
 		Observe:          tel.Observe,
-		Logger:           obs.NewLogger(os.Stderr, *logLevel, *logFormat),
+		Logger:           logger,
 	}
 	fmt.Fprintf(os.Stderr, "fedvalworker: %s (capacity %d) dialling %s\n", *name, cap, *coordinator)
+
+	// Jittered exponential backoff between reconnects: a fleet of workers
+	// losing the same coordinator (restart, deploy) must not re-dial in
+	// lockstep, and a worker refused by flap quarantine must not spin on
+	// the handshake. A connection that lived long enough to have served
+	// work resets the schedule — the next loss is a fresh incident.
+	backoff := resilience.Policy{Initial: 100 * time.Millisecond, Max: *retry}
+	attempt := 0
 	for {
+		start := time.Now()
 		err := w.Dial(ctx, *coordinator)
 		if ctx.Err() != nil {
-			fmt.Fprintln(os.Stderr, "fedvalworker: shutting down")
+			logger.Info("shutting down")
 			return
 		}
-		fmt.Fprintf(os.Stderr, "fedvalworker: %v; retrying in %s\n", err, *retry)
+		if time.Since(start) > 30*time.Second {
+			attempt = 0
+		}
+		delay := backoff.Delay(attempt)
+		attempt++
+		logger.Warn("coordinator connection lost; reconnecting",
+			"error", err, "attempt", attempt, "backoff", delay.Round(time.Millisecond))
 		select {
 		case <-ctx.Done():
-			fmt.Fprintln(os.Stderr, "fedvalworker: shutting down")
+			logger.Info("shutting down")
 			return
-		case <-time.After(*retry):
+		case <-time.After(delay):
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fedshap"
 	"fedshap/internal/combin"
 	"fedshap/internal/obs"
+	"fedshap/internal/resilience"
 	"fedshap/internal/utility"
 )
 
@@ -40,8 +41,29 @@ type SchedulerConfig struct {
 	// (default 50ms).
 	SpeculateMinAge time.Duration
 	// SpeculateTick is how often the coordinator scans for stragglers
-	// while idle capacity exists (default 25ms).
+	// while idle capacity exists (default 25ms). The same ticker drives
+	// the task-deadline reaper when TaskDeadline is set.
 	SpeculateTick time.Duration
+	// TaskDeadline bounds how long one assignment may sit unanswered on a
+	// worker before it is forcibly requeued (0 disables). Unlike the
+	// straggler scan — which only duplicates work when idle capacity
+	// exists — the reaper fires regardless of fleet load, so a task on a
+	// stalled (SIGSTOP'd, wedged) worker whose connection stays open is
+	// still rescued. The stalled worker's eventual result is discarded as
+	// stale, so results and budgets stay bit-identical.
+	TaskDeadline time.Duration
+	// FlapThreshold benches a worker name after this many losses inside
+	// FlapWindow (default 3; < 0 disables quarantine). A benched name is
+	// refused at Attach until its penalty expires; the penalty starts at
+	// BenchBase and doubles per bench up to BenchMax.
+	FlapThreshold int
+	// FlapWindow is the sliding window flap losses are counted in
+	// (default 1m).
+	FlapWindow time.Duration
+	// BenchBase is the first quarantine penalty (default 5s).
+	BenchBase time.Duration
+	// BenchMax caps the doubling quarantine penalty (default 2m).
+	BenchMax time.Duration
 	// Logger receives structured fleet lifecycle logs (worker attach and
 	// loss, straggler re-dispatch) with worker/job correlation attributes;
 	// nil discards them.
@@ -57,6 +79,18 @@ func (sc *SchedulerConfig) fillDefaults() {
 	}
 	if sc.SpeculateTick <= 0 {
 		sc.SpeculateTick = 25 * time.Millisecond
+	}
+	if sc.FlapThreshold == 0 {
+		sc.FlapThreshold = 3
+	}
+	if sc.FlapWindow <= 0 {
+		sc.FlapWindow = time.Minute
+	}
+	if sc.BenchBase <= 0 {
+		sc.BenchBase = 5 * time.Second
+	}
+	if sc.BenchMax <= 0 {
+		sc.BenchMax = 2 * time.Minute
 	}
 }
 
@@ -80,10 +114,19 @@ type Coordinator struct {
 
 	// redispatches counts speculative task copies dispatched; wins counts
 	// the copies that beat the original assignment to the result.
-	// requeues counts tasks re-dispatched because their worker died.
-	redispatches int64
-	wins         int64
-	requeues     int64
+	// requeues counts tasks re-dispatched because their worker died;
+	// deadlineRequeues counts tasks reaped off a hung worker by the task
+	// deadline; quarantineRejections counts attaches refused while the
+	// worker's name served a flap-quarantine bench.
+	redispatches         int64
+	wins                 int64
+	requeues             int64
+	deadlineRequeues     int64
+	quarantineRejections int64
+
+	// flaps tracks worker losses per name; a name flapping past the
+	// threshold is benched and refused at Attach (nil when disabled).
+	flaps *resilience.Tracker
 
 	logger *slog.Logger
 
@@ -113,6 +156,11 @@ type remoteWorker struct {
 	// ewma is the exponentially weighted moving average of this worker's
 	// per-evaluation latency in nanoseconds; 0 until the first result.
 	ewma float64
+	// suspect marks a worker the deadline reaper has taken a task from:
+	// its connection is up but it stopped answering, so the scheduler
+	// skips it — otherwise the reaped task would requeue straight back
+	// onto the same stalled machine. Any decoded result clears it.
+	suspect bool
 	// redispatched counts speculative copies this worker received.
 	redispatched int64
 
@@ -194,7 +242,15 @@ func NewCoordinatorWith(sched SchedulerConfig) *Coordinator {
 		workers: make(map[int]*remoteWorker),
 		logger:  logger,
 	}
-	if !sched.DisableSpeculation {
+	if sched.FlapThreshold > 0 {
+		c.flaps = resilience.NewTracker(resilience.TrackerConfig{
+			Threshold:   sched.FlapThreshold,
+			Window:      sched.FlapWindow,
+			BasePenalty: sched.BenchBase,
+			MaxPenalty:  sched.BenchMax,
+		})
+	}
+	if !sched.DisableSpeculation || sched.TaskDeadline > 0 {
 		c.specStop = make(chan struct{})
 		c.specDone = make(chan struct{})
 		go c.speculateLoop()
@@ -202,9 +258,10 @@ func NewCoordinatorWith(sched SchedulerConfig) *Coordinator {
 	return c
 }
 
-// speculateLoop periodically re-examines the fleet for stragglers; the
-// scan itself is cheap (a few map walks under the scheduler lock), so a
-// short tick keeps tail latency low without measurable overhead.
+// speculateLoop periodically re-examines the fleet for stragglers and —
+// when a task deadline is configured — for hung assignments to reap; the
+// scans themselves are cheap (a few map walks under the scheduler lock),
+// so a short tick keeps tail latency low without measurable overhead.
 func (c *Coordinator) speculateLoop() {
 	defer close(c.specDone)
 	t := time.NewTicker(c.sched.SpeculateTick)
@@ -215,7 +272,12 @@ func (c *Coordinator) speculateLoop() {
 			return
 		case <-t.C:
 			c.mu.Lock()
-			c.speculateLocked()
+			if c.sched.TaskDeadline > 0 {
+				c.reapHungLocked()
+			}
+			if !c.sched.DisableSpeculation {
+				c.speculateLocked()
+			}
 			c.mu.Unlock()
 		}
 	}
@@ -251,6 +313,21 @@ func (c *Coordinator) Attach(conn net.Conn) error {
 	}
 	if hello.Hello == nil || hello.Hello.Proto != protoVersion {
 		return fmt.Errorf("evalnet: worker handshake: bad hello (proto %v)", hello.Hello)
+	}
+	// Flap quarantine: a name that keeps dying is refused before the ack,
+	// so the worker sees a failed handshake and backs off (its dial retry
+	// loop has jittered exponential backoff) instead of rejoining the
+	// fleet only to take tasks down with it again.
+	if c.flaps != nil {
+		if left, benched := c.flaps.Benched(hello.Hello.Name); benched {
+			c.mu.Lock()
+			c.quarantineRejections++
+			c.mu.Unlock()
+			c.logger.Warn("worker attach refused: quarantined",
+				"worker", hello.Hello.Name, "bench_remaining", left)
+			return fmt.Errorf("evalnet: worker %q quarantined for %s after repeated losses",
+				hello.Hello.Name, left.Round(time.Millisecond))
+		}
 	}
 	capacity := hello.Hello.Capacity
 	if capacity < 1 {
@@ -341,6 +418,18 @@ func (c *Coordinator) readLoop(w *remoteWorker, dec *gob.Decoder) {
 // earlier would oversubscribe the machine past its announced capacity.
 func (c *Coordinator) completeTask(w *remoteWorker, res resultMsg) {
 	c.mu.Lock()
+	// Any decoded result proves the worker is alive and answering again;
+	// lift the deadline reaper's suspicion so it is schedulable. If the
+	// result itself is stale (the reaper already requeued its task, so the
+	// inflight lookup below misses), the un-suspected worker still has free
+	// slots pending work may be waiting on — dispatch explicitly, because
+	// the miss path otherwise skips it.
+	if w.suspect {
+		w.suspect = false
+		if _, stillHeld := w.inflight[res.TaskID]; !stillHeld {
+			c.dispatchLocked()
+		}
+	}
 	t, ok := w.inflight[res.TaskID]
 	var deliver taskResult
 	var observeRemote float64 // >0: report to the session's Observe hook after unlock
@@ -449,6 +538,15 @@ func (c *Coordinator) removeWorker(w *remoteWorker) {
 	}
 	w.gone = true
 	delete(c.workers, w.id)
+	// Record the loss for flap quarantine — but not during coordinator
+	// shutdown, where every worker is deliberately disconnected and a
+	// bench would punish the next daemon life's fleet for nothing.
+	if c.flaps != nil && !c.closed {
+		if benched, until := c.flaps.Fail(w.name); benched {
+			c.logger.Warn("worker quarantined after repeated losses",
+				"worker", w.name, "bench_until", until.UTC().Format(time.RFC3339))
+		}
+	}
 	orphans := make([]*task, 0, len(w.inflight))
 	for _, t := range w.inflight {
 		t.dropHolder(w.id)
@@ -665,6 +763,59 @@ func (c *Coordinator) speculateLocked() {
 	b.flushLocked(c)
 }
 
+// reapHungLocked forcibly requeues every assignment older than the task
+// deadline. The straggler scan cannot rescue these: it needs idle
+// capacity and latency history, while a stalled worker (SIGSTOP, wedged
+// runtime) can sit on a saturated fleet's tasks forever with its
+// connection alive. Reaping deletes the assignment, so the worker's
+// eventual late result misses the inflight lookup in completeTask and is
+// discarded uncounted — determinism is preserved. The worker itself is
+// marked suspect and skipped by the scheduler until it answers again,
+// so the reaped task cannot requeue straight back onto it.
+func (c *Coordinator) reapHungLocked() {
+	deadline := c.sched.TaskDeadline
+	now := time.Now()
+	var orphans []*task
+	for _, w := range c.workers {
+		for id, t := range w.inflight {
+			if now.Sub(w.started[id]) <= deadline {
+				continue
+			}
+			delete(w.inflight, id)
+			delete(w.started, id)
+			t.dropHolder(w.id)
+			w.suspect = true
+			if t.delivered {
+				continue
+			}
+			// Back to square one: the reaped task regains its speculation
+			// entitlement on whichever worker runs it next.
+			t.speculated, t.specWorker = false, 0
+			if len(t.holders) > 0 {
+				continue // a speculative twin still owns it
+			}
+			orphans = append(orphans, t)
+		}
+	}
+	if len(orphans) == 0 {
+		return
+	}
+	c.deadlineRequeues += int64(len(orphans))
+	perSession := make(map[*Session]int)
+	for _, t := range orphans {
+		perSession[t.session]++
+	}
+	for s, n := range perSession {
+		s.trace.Event("redispatch", "daemon",
+			"reason", "deadline", "tasks", strconv.Itoa(n))
+	}
+	sort.Slice(orphans, func(a, b int) bool { return orphans[a].id < orphans[b].id })
+	c.pending = append(orphans, c.pending...)
+	c.logger.Warn("hung evaluations reaped past task deadline",
+		"tasks", len(orphans), "deadline", deadline)
+	c.dispatchLocked()
+}
+
 // fleetEWMALocked returns the mean EWMA latency across workers with
 // history, or 0 when no worker has answered anything yet.
 func (c *Coordinator) fleetEWMALocked() float64 {
@@ -704,7 +855,7 @@ func (c *Coordinator) pickWorkerExceptLocked(except int) *remoteWorker {
 		bestLat float64
 	)
 	for _, w := range c.workers {
-		if w.id == except || len(w.inflight) >= w.capacity {
+		if w.id == except || w.suspect || len(w.inflight) >= w.capacity {
 			continue
 		}
 		lat := w.latencyOr(fleet)
@@ -756,6 +907,10 @@ func (c *Coordinator) Workers() []fedshap.WorkerInfo {
 func (c *Coordinator) workersLocked() []fedshap.WorkerInfo {
 	out := make([]fedshap.WorkerInfo, 0, len(c.workers))
 	for _, w := range c.workers {
+		flaps := 0
+		if c.flaps != nil {
+			flaps = c.flaps.Strikes(w.name)
+		}
 		out = append(out, fedshap.WorkerInfo{
 			ID:           w.id,
 			Name:         w.name,
@@ -765,6 +920,7 @@ func (c *Coordinator) workersLocked() []fedshap.WorkerInfo {
 			Completed:    w.done,
 			EWMAMillis:   w.ewma / float64(time.Millisecond),
 			Redispatched: w.redispatched,
+			Flaps:        flaps,
 		})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
@@ -775,13 +931,20 @@ func (c *Coordinator) workersLocked() []fedshap.WorkerInfo {
 func (c *Coordinator) Stats() fedshap.FleetMetrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var quarantined []string
+	if c.flaps != nil {
+		quarantined = c.flaps.BenchedKeys()
+	}
 	return fedshap.FleetMetrics{
-		Workers:        c.workersLocked(),
-		TotalCapacity:  c.totalCapacityLocked(),
-		PendingTasks:   len(c.pending),
-		Redispatches:   c.redispatches,
-		RedispatchWins: c.wins,
-		Requeues:       c.requeues,
+		Workers:              c.workersLocked(),
+		TotalCapacity:        c.totalCapacityLocked(),
+		PendingTasks:         len(c.pending),
+		Redispatches:         c.redispatches,
+		RedispatchWins:       c.wins,
+		Requeues:             c.requeues,
+		DeadlineRequeues:     c.deadlineRequeues,
+		Quarantined:          quarantined,
+		QuarantineRejections: c.quarantineRejections,
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
 	"os/exec"
+	"syscall"
 	"time"
 
 	"fedshap"
@@ -47,6 +49,28 @@ type ChaosConfig struct {
 	DaemonKills int
 	WorkerKills int
 	Partitions  int
+	// DiskFull / Stalls / Flaps are the resilience fault quotas. A
+	// disk-full fault creates FaultFile (failing every daemon persistence
+	// write — the daemon must be launched watching that path), submits a
+	// canary job inside the degraded window, then removes the file and
+	// waits for recovery. A stall SIGSTOPs a fleet worker past the
+	// coordinator's task deadline, then SIGCONTs it. A flap kills the same
+	// worker name FlapKillCount times in quick succession to trip the
+	// coordinator's quarantine, then verifies the bench refuses a relaunch
+	// before letting it reattach.
+	DiskFull int
+	Stalls   int
+	Flaps    int
+	// FaultFile is the persistence fault-switch path shared with the
+	// daemon (required when DiskFull > 0).
+	FaultFile string
+	// StallFor is how long a stalled worker stays SIGSTOPped; it must
+	// exceed the daemon's task deadline (default 3s).
+	StallFor time.Duration
+	// FlapKillCount is the kills per flap fault; it must reach the
+	// coordinator's flap threshold (default 3, matching the coordinator
+	// default).
+	FlapKillCount int
 	// ControlClient talks to the control daemon (required when
 	// Spec.StartControl is set).
 	ControlClient *fedshap.ServiceClient
@@ -61,6 +85,12 @@ func (c *ChaosConfig) defaults() {
 	if c.SettleTimeout <= 0 {
 		c.SettleTimeout = 60 * time.Second
 	}
+	if c.StallFor <= 0 {
+		c.StallFor = 3 * time.Second
+	}
+	if c.FlapKillCount <= 0 {
+		c.FlapKillCount = 3
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -73,6 +103,12 @@ type controller struct {
 	daemon  *exec.Cmd
 	workers map[string]*exec.Cmd
 	control *exec.Cmd
+	// canaries holds one pending result per disk-full fault: the job
+	// submitted inside the degraded window. They queue behind the live
+	// load, so their verdicts are collected at invariant time, not
+	// inline (blocking the fault sequence on a full queue would let the
+	// load drain and leave the later faults with an idle fleet).
+	canaries []<-chan *fedshap.JobStatus
 }
 
 // RunChaos launches the daemon and fleet, drives the Runner's load
@@ -90,6 +126,14 @@ type controller struct {
 //     accumulated across daemon lives, accounts for every induced death
 //     that verifiably had work in flight.
 //
+// Resilience fault quotas add their own invariants: deadline-enforced
+// (every stall with verified in-flight work produced a task-deadline
+// requeue), quarantine-accounting (every flap victim was benched and the
+// bench refused a reattach), and degraded-mode-recovery (every disk-full
+// flipped the daemon to memory-only operation, restored persistence
+// afterwards, and the canary job admitted inside the degraded window
+// reached done).
+//
 // The report's Chaos section records faults and verdicts; RunChaos only
 // returns a non-nil error for harness failures (a violated invariant is
 // data, not an error — callers decide via Report.Chaos.Violations()).
@@ -100,6 +144,12 @@ func RunChaos(ctx context.Context, r *Runner, cfg ChaosConfig) (*Report, error) 
 	}
 	if cfg.Partitions > 0 && cfg.Proxy == nil {
 		return nil, fmt.Errorf("loadgen: partitions need a Proxy")
+	}
+	if cfg.DiskFull > 0 && cfg.FaultFile == "" {
+		return nil, fmt.Errorf("loadgen: disk-full faults need a FaultFile shared with the daemon")
+	}
+	if (cfg.Stalls > 0 || cfg.Flaps > 0) && len(cfg.WorkerNames) == 0 {
+		return nil, fmt.Errorf("loadgen: stall and flap faults target the worker fleet")
 	}
 	ctrl := &controller{cfg: cfg, runner: r, workers: make(map[string]*exec.Cmd)}
 	defer ctrl.stopAll()
@@ -136,9 +186,20 @@ func RunChaos(ctx context.Context, r *Runner, cfg ChaosConfig) (*Report, error) 
 	rep := runRep
 	rep.Chaos = chaos
 	chaos.ObservedDeathRequeues = r.DeathRequeues()
+	chaos.ObservedDeadlineRequeues = r.DeadlineRequeues()
+	chaos.ObservedQuarantineRejections = r.QuarantineRejections()
 
 	ctrl.checkAllTerminal(rep)
 	ctrl.checkRedispatchAccounting(chaos)
+	if cfg.Stalls > 0 {
+		ctrl.checkDeadlineEnforced(chaos)
+	}
+	if cfg.Flaps > 0 {
+		ctrl.checkQuarantineAccounting(chaos)
+	}
+	if cfg.DiskFull > 0 {
+		ctrl.checkDegradedRecovery(ctx, chaos)
+	}
 	replayed := ctrl.checkReplayZeroFresh(ctx, r, chaos)
 	ctrl.checkControlBitIdentical(ctx, r, chaos, replayed)
 	return rep, nil
@@ -171,7 +232,8 @@ func (c *controller) startAll(ctx context.Context) error {
 // back (they still exercise recovery — the replay/control passes come
 // after).
 func (c *controller) injectFaults(ctx context.Context, chaos *ChaosReport, done <-chan struct{}) error {
-	seq := faultSequence(c.cfg.WorkerKills, c.cfg.Partitions, c.cfg.DaemonKills)
+	seq := faultSequence(c.cfg.WorkerKills, c.cfg.Partitions, c.cfg.DaemonKills,
+		c.cfg.DiskFull, c.cfg.Stalls, c.cfg.Flaps)
 	total := len(c.runner.Requests())
 	finished := false
 	for i, fault := range seq {
@@ -193,6 +255,12 @@ func (c *controller) injectFaults(ctx context.Context, chaos *ChaosReport, done 
 			err = c.partition(ctx, chaos)
 		case "daemon":
 			err = c.killDaemon(ctx, chaos)
+		case "diskfull":
+			err = c.diskFull(ctx, chaos)
+		case "stall":
+			err = c.stallWorker(ctx, chaos)
+		case "flap":
+			err = c.flapWorker(ctx, chaos)
 		}
 		if err != nil {
 			return err
@@ -202,10 +270,10 @@ func (c *controller) injectFaults(ctx context.Context, chaos *ChaosReport, done 
 }
 
 // faultSequence interleaves the quotas round-robin: worker kill,
-// partition, daemon kill, worker kill, ...
-func faultSequence(workers, partitions, daemons int) []string {
+// partition, daemon kill, disk-full, stall, flap, worker kill, ...
+func faultSequence(workers, partitions, daemons, diskfulls, stalls, flaps int) []string {
 	var seq []string
-	for workers+partitions+daemons > 0 {
+	for workers+partitions+daemons+diskfulls+stalls+flaps > 0 {
 		if workers > 0 {
 			seq = append(seq, "worker")
 			workers--
@@ -217,6 +285,18 @@ func faultSequence(workers, partitions, daemons int) []string {
 		if daemons > 0 {
 			seq = append(seq, "daemon")
 			daemons--
+		}
+		if diskfulls > 0 {
+			seq = append(seq, "diskfull")
+			diskfulls--
+		}
+		if stalls > 0 {
+			seq = append(seq, "stall")
+			stalls--
+		}
+		if flaps > 0 {
+			seq = append(seq, "flap")
+			flaps--
 		}
 	}
 	return seq
@@ -299,6 +379,245 @@ func (c *controller) killDaemon(ctx context.Context, chaos *ChaosReport) error {
 	return c.waitFleet(ctx, len(c.cfg.WorkerNames))
 }
 
+// diskFull arms the daemon's persistence fault switch (every journal and
+// store write fails while FaultFile exists), submits a canary job inside
+// the degraded window, then clears the fault and waits for the daemon to
+// restore persistence. What it observes — degraded gauge up, canary done,
+// gauge back down — feeds the degraded-mode-recovery invariant; a daemon
+// that never degrades or never recovers is an invariant violation, not a
+// harness error.
+func (c *controller) diskFull(ctx context.Context, chaos *ChaosReport) error {
+	if err := os.WriteFile(c.cfg.FaultFile, nil, 0o644); err != nil {
+		return fmt.Errorf("loadgen: arm fault file: %w", err)
+	}
+	defer os.Remove(c.cfg.FaultFile) // idempotent; normally removed below
+	c.cfg.Logf("chaos: disk-full armed via %s", c.cfg.FaultFile)
+
+	// The canary: a request outside the generated traffic's fingerprint
+	// space, so it forces fresh evaluations (and store writes) while the
+	// disk is failing. Its journal append is also what flips the daemon to
+	// degraded if load writes haven't already.
+	canary := c.runner.Requests()[0]
+	canary.Seed = 900000 + int64(chaos.DiskFulls)
+	canaryDone := make(chan *fedshap.JobStatus, 1)
+	go func() {
+		st, err := c.submitAndWait(ctx, c.cfg.Client, canary)
+		if err != nil {
+			c.cfg.Logf("chaos: degraded canary failed: %v", err)
+			canaryDone <- nil
+			return
+		}
+		canaryDone <- st
+	}()
+
+	if c.pollUntil(ctx, func(m *fedshap.Metrics) bool { return m.Degraded }) {
+		chaos.DegradedObserved++
+		c.cfg.Logf("chaos: daemon degraded (memory-only persistence)")
+	} else {
+		c.cfg.Logf("chaos: daemon never reported degraded")
+	}
+	// The canary was accepted inside the degraded window; it drains with
+	// the rest of the queue, so its terminal state is collected by
+	// checkDegradedRecovery after the run.
+	c.canaries = append(c.canaries, canaryDone)
+
+	os.Remove(c.cfg.FaultFile)
+	if c.pollUntil(ctx, func(m *fedshap.Metrics) bool { return !m.Degraded }) {
+		chaos.DegradedRecovered++
+		c.cfg.Logf("chaos: daemon restored persistence")
+	} else {
+		c.cfg.Logf("chaos: daemon never recovered from degraded mode")
+	}
+	chaos.DiskFulls++
+	return ctx.Err()
+}
+
+// stallWorker SIGSTOPs one fleet worker and keeps it frozen past the
+// coordinator's task deadline, then SIGCONTs it. Unlike a kill, the
+// worker's connection stays open — only the deadline reaper can rescue
+// whatever the coordinator dispatched to it. The in-flight check happens
+// AFTER the stop: a task seen on a frozen worker cannot complete, so every
+// verified stall must produce a deadline requeue.
+func (c *controller) stallWorker(ctx context.Context, chaos *ChaosReport) error {
+	victim := c.cfg.WorkerNames[chaos.Stalls%len(c.cfg.WorkerNames)]
+	proc, ok := c.workers[victim]
+	if !ok {
+		return fmt.Errorf("loadgen: no process handle for worker %s", victim)
+	}
+	if err := proc.Process.Signal(syscall.SIGSTOP); err != nil {
+		return fmt.Errorf("loadgen: SIGSTOP worker %s: %w", victim, err)
+	}
+	// While frozen the coordinator keeps dispatching to it (the connection
+	// is healthy and its capacity looks free), so under load in-flight
+	// work shows up within a poll or two.
+	inflight := c.pollUntil(ctx, func(m *fedshap.Metrics) bool {
+		if m.Fleet == nil {
+			return false
+		}
+		for _, w := range m.Fleet.Workers {
+			if w.Name == victim && w.InFlight > 0 {
+				return true
+			}
+		}
+		return false
+	}, c.cfg.StallFor/2)
+	c.cfg.Logf("chaos: SIGSTOP worker %s for %s (in-flight verified: %v)", victim, c.cfg.StallFor, inflight)
+	if !inflight {
+		if m := c.scrape(ctx); m != nil && m.Fleet != nil {
+			for _, w := range m.Fleet.Workers {
+				c.cfg.Logf("chaos: fleet view: worker %s in-flight %d completed %d", w.Name, w.InFlight, w.Completed)
+			}
+		}
+	}
+	chaos.Stalls++
+	if inflight {
+		chaos.StallsWithInflight++
+	}
+	select {
+	case <-ctx.Done():
+		proc.Process.Signal(syscall.SIGCONT)
+		return ctx.Err()
+	case <-time.After(c.cfg.StallFor):
+	}
+	if err := proc.Process.Signal(syscall.SIGCONT); err != nil {
+		return fmt.Errorf("loadgen: SIGCONT worker %s: %w", victim, err)
+	}
+	return c.waitFleet(ctx, len(c.cfg.WorkerNames))
+}
+
+// flapWorker kills the same worker name FlapKillCount times in quick
+// succession — enough strikes inside the coordinator's flap window to
+// bench it — then relaunches it and watches the bench refuse the
+// handshake before the penalty expires and the worker reattaches.
+func (c *controller) flapWorker(ctx context.Context, chaos *ChaosReport) error {
+	victim := c.cfg.WorkerNames[chaos.Flaps%len(c.cfg.WorkerNames)]
+	onBench := func(m *fedshap.Metrics) bool {
+		if m == nil || m.Fleet == nil {
+			return false
+		}
+		for _, name := range m.Fleet.Quarantined {
+			if name == victim {
+				return true
+			}
+		}
+		return false
+	}
+	benched := false
+	for i := 0; i < c.cfg.FlapKillCount && !benched; i++ {
+		m := c.scrape(ctx)
+		inflight, oldAddr := false, ""
+		if m != nil && m.Fleet != nil {
+			for _, w := range m.Fleet.Workers {
+				if w.Name == victim {
+					oldAddr = w.Addr
+					if w.InFlight > 0 {
+						inflight = true
+					}
+				}
+			}
+		}
+		proc, ok := c.workers[victim]
+		if !ok {
+			return fmt.Errorf("loadgen: no process handle for worker %s", victim)
+		}
+		c.cfg.Logf("chaos: flap kill %d/%d of worker %s (in-flight verified: %v)",
+			i+1, c.cfg.FlapKillCount, victim, inflight)
+		proc.Process.Kill()
+		proc.Wait()
+		if inflight {
+			chaos.KillsWithInflight++
+		}
+		if i == c.cfg.FlapKillCount-1 {
+			break // last strike: leave it dead so the bench is observable
+		}
+		w, err := c.cfg.Spec.StartWorker(victim)
+		if err != nil {
+			return fmt.Errorf("loadgen: relaunch worker %s: %w", victim, err)
+		}
+		c.workers[victim] = w
+		// The kill only counts as a strike once the coordinator reaps the
+		// dead connection, and the NEXT kill only counts if the relaunch
+		// actually attached — a stale fleet entry for the victim's name is
+		// neither, so incarnations are told apart by connection address.
+		// Background disconnects (a stall, an earlier fault) may also have
+		// banked strikes already, making this kill the benching one — then
+		// the relaunch is being refused at the door and waiting for a full
+		// fleet would deadlock. Wait for either outcome.
+		c.pollUntil(ctx, func(m *fedshap.Metrics) bool {
+			if onBench(m) {
+				benched = true
+				return true
+			}
+			if m == nil || m.Fleet == nil {
+				return false
+			}
+			fresh, stale := false, false
+			for _, w := range m.Fleet.Workers {
+				if w.Name != victim {
+					continue
+				}
+				if oldAddr != "" && w.Addr == oldAddr {
+					stale = true
+				} else {
+					fresh = true
+				}
+			}
+			return fresh && !stale
+		})
+	}
+
+	if benched || c.pollUntil(ctx, onBench) {
+		chaos.QuarantinesObserved++
+		c.cfg.Logf("chaos: worker %s benched by flap quarantine", victim)
+	} else {
+		c.cfg.Logf("chaos: worker %s never appeared on the quarantine bench", victim)
+	}
+
+	// Relaunch while benched (unless an early bench means a live worker
+	// process is already dialing into the refusal): every dial must be
+	// refused and counted by the coordinator until the penalty expires,
+	// then the worker's own retry loop gets it back into the fleet.
+	rejectionsBefore := c.runner.QuarantineRejections()
+	if !benched {
+		w, err := c.cfg.Spec.StartWorker(victim)
+		if err != nil {
+			return fmt.Errorf("loadgen: relaunch worker %s: %w", victim, err)
+		}
+		c.workers[victim] = w
+	}
+	if c.pollUntil(ctx, func(*fedshap.Metrics) bool {
+		return c.runner.QuarantineRejections() > rejectionsBefore
+	}) {
+		c.cfg.Logf("chaos: benched worker %s refused at the door", victim)
+	}
+	chaos.Flaps++
+	return c.waitFleet(ctx, len(c.cfg.WorkerNames))
+}
+
+// pollUntil scrapes /metrics until cond holds, an optional timeout (or
+// the settle timeout) elapses, or ctx dies. It reports whether cond was
+// ever observed.
+func (c *controller) pollUntil(ctx context.Context, cond func(*fedshap.Metrics) bool, timeout ...time.Duration) bool {
+	limit := c.cfg.SettleTimeout
+	if len(timeout) > 0 {
+		limit = timeout[0]
+	}
+	deadline := time.Now().Add(limit)
+	for {
+		if m := c.scrape(ctx); m != nil && cond(m) {
+			return true
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return false
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
 // scrape samples /metrics through the Runner's accumulating scraper.
 func (c *controller) scrape(ctx context.Context) *fedshap.Metrics {
 	return c.runner.ScrapeNow(ctx)
@@ -371,6 +690,57 @@ func (c *controller) checkRedispatchAccounting(chaos *ChaosReport) {
 		chaos.ObservedDeathRequeues, chaos.KillsWithInflight)
 	chaos.Invariants = append(chaos.Invariants, InvariantResult{
 		Name: "redispatch-accounting", OK: ok, Detail: detail,
+	})
+}
+
+// checkDeadlineEnforced: every stall that verifiably froze in-flight work
+// must be rescued by the task-deadline reaper — the accumulated deadline
+// requeue counter covers the verified stalls.
+func (c *controller) checkDeadlineEnforced(chaos *ChaosReport) {
+	ok := chaos.ObservedDeadlineRequeues >= int64(chaos.StallsWithInflight)
+	detail := fmt.Sprintf("%d deadline requeues observed across daemon lives, %d stalls with verified in-flight work",
+		chaos.ObservedDeadlineRequeues, chaos.StallsWithInflight)
+	chaos.Invariants = append(chaos.Invariants, InvariantResult{
+		Name: "deadline-enforced", OK: ok, Detail: detail,
+	})
+}
+
+// checkQuarantineAccounting: every flap fault must have benched its
+// victim, and every bench must have refused at least one reattach.
+func (c *controller) checkQuarantineAccounting(chaos *ChaosReport) {
+	ok := chaos.QuarantinesObserved == chaos.Flaps &&
+		chaos.ObservedQuarantineRejections >= int64(chaos.Flaps)
+	detail := fmt.Sprintf("%d/%d flap victims benched, %d quarantine rejections observed",
+		chaos.QuarantinesObserved, chaos.Flaps, chaos.ObservedQuarantineRejections)
+	chaos.Invariants = append(chaos.Invariants, InvariantResult{
+		Name: "quarantine-accounting", OK: ok, Detail: detail,
+	})
+}
+
+// checkDegradedRecovery: every disk-full fault must have flipped the
+// daemon to degraded, completed the canary job it admitted inside the
+// degraded window, and restored persistence once the fault cleared. The
+// canaries queued behind the live load, so their verdicts are collected
+// here, after the run drained.
+func (c *controller) checkDegradedRecovery(ctx context.Context, chaos *ChaosReport) {
+	for _, ch := range c.canaries {
+		select {
+		case st := <-ch:
+			if st != nil && st.State == fedshap.JobDone {
+				chaos.DegradedCanariesDone++
+			}
+		case <-time.After(c.cfg.SettleTimeout):
+			c.cfg.Logf("chaos: degraded canary never reached a terminal state")
+		case <-ctx.Done():
+		}
+	}
+	ok := chaos.DegradedObserved == chaos.DiskFulls &&
+		chaos.DegradedRecovered == chaos.DiskFulls &&
+		chaos.DegradedCanariesDone == chaos.DiskFulls
+	detail := fmt.Sprintf("%d disk-fulls: %d degraded flips, %d canaries done while degraded, %d recoveries",
+		chaos.DiskFulls, chaos.DegradedObserved, chaos.DegradedCanariesDone, chaos.DegradedRecovered)
+	chaos.Invariants = append(chaos.Invariants, InvariantResult{
+		Name: "degraded-mode-recovery", OK: ok, Detail: detail,
 	})
 }
 

@@ -10,6 +10,124 @@ import (
 	"fedshap"
 )
 
+// TestChaosResilienceFaults exercises the defense-in-depth fault types
+// end to end against real OS processes: a disk-full window (persistence
+// fault file) that must flip the daemon to degraded memory-only operation
+// and back, a SIGSTOPped worker whose frozen evaluations only the
+// task-deadline reaper can rescue, and a flapping worker that must be
+// benched by the quarantine and refused at the door when it returns. Six
+// invariants must hold: all-terminal, replay-zero-fresh,
+// redispatch-accounting, deadline-enforced, quarantine-accounting and
+// degraded-mode-recovery.
+func TestChaosResilienceFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemon and worker OS processes")
+	}
+	dir := t.TempDir()
+	apiAddr := freeAddr(t)
+	workerAddr := freeAddr(t)
+	faultFile := filepath.Join(dir, "fault-disk-full")
+
+	// The game delay is deliberately large and every job gets its own
+	// fingerprint: warm store hits never touch the fleet, so the traffic
+	// must stay fresh for the whole run to guarantee the stall fault
+	// freezes a worker that actually has evaluations in flight.
+	const gameDelay = "150"
+	chaosDir := filepath.Join(dir, "chaos")
+	spec := ProcessSpec{
+		StartDaemon: func() (*exec.Cmd, error) {
+			return spawnHelper(
+				"FEDSHAP_LOADTEST_DAEMON_DIR="+chaosDir,
+				"FEDSHAP_LOADTEST_API_ADDR="+apiAddr,
+				"FEDSHAP_LOADTEST_WORKER_ADDR="+workerAddr,
+				"FEDSHAP_LOADTEST_GAME_DELAY_MS="+gameDelay,
+				"FEDSHAP_LOADTEST_FAULT_FILE="+faultFile,
+				"FEDSHAP_LOADTEST_TASK_DEADLINE_MS=400",
+				"FEDSHAP_LOADTEST_FLAP_THRESHOLD=2",
+				"FEDSHAP_LOADTEST_BENCH_BASE_MS=3000",
+			)
+		},
+		StartWorker: func(name string) (*exec.Cmd, error) {
+			return spawnHelper(
+				"FEDSHAP_LOADTEST_COORD="+workerAddr,
+				"FEDSHAP_LOADTEST_WORKER_NAME="+name,
+				"FEDSHAP_LOADTEST_GAME_DELAY_MS="+gameDelay,
+			)
+		},
+	}
+
+	client := fedshap.NewServiceClient("http://" + apiAddr)
+	r, err := NewRunner(Config{
+		Client:       client,
+		Jobs:         36,
+		Concurrency:  6,
+		Fingerprints: 36,
+		WarmFraction: 0,
+		Watchers:     2,
+		Seed:         7,
+		Timeout:      90 * time.Second,
+		Mix:          Mix{Gammas: []int{8, 12}},
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	rep, err := RunChaos(ctx, r, ChaosConfig{
+		Spec:          spec,
+		Client:        client,
+		WorkerNames:   []string{"res-w0", "res-w1"},
+		DiskFull:      1,
+		Stalls:        1,
+		Flaps:         1,
+		FaultFile:     faultFile,
+		StallFor:      2 * time.Second,
+		FlapKillCount: 2,
+		SettleTimeout: 45 * time.Second,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Chaos == nil {
+		t.Fatal("no chaos section in report")
+	}
+	if rep.Chaos.DiskFulls != 1 || rep.Chaos.Stalls != 1 || rep.Chaos.Flaps != 1 {
+		t.Errorf("fault counts = %d disk-full, %d stall, %d flap; want 1/1/1",
+			rep.Chaos.DiskFulls, rep.Chaos.Stalls, rep.Chaos.Flaps)
+	}
+	if rep.Chaos.StallsWithInflight < 1 {
+		t.Error("stall never froze verified in-flight work — the deadline invariant was vacuous")
+	}
+	wantInvariants := map[string]bool{
+		"all-terminal": false, "replay-zero-fresh": false,
+		"redispatch-accounting": false, "deadline-enforced": false,
+		"quarantine-accounting": false, "degraded-mode-recovery": false,
+	}
+	for _, inv := range rep.Chaos.Invariants {
+		if _, known := wantInvariants[inv.Name]; !known {
+			t.Errorf("unexpected invariant %q", inv.Name)
+			continue
+		}
+		wantInvariants[inv.Name] = true
+		if !inv.OK {
+			t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+		}
+	}
+	for name, seen := range wantInvariants {
+		if !seen {
+			t.Errorf("invariant %s was not checked", name)
+		}
+	}
+	if rep.Submitted != 36 || rep.Done != 36 {
+		t.Errorf("load = %d submitted, %d done; want 36/36", rep.Submitted, rep.Done)
+	}
+	t.Logf("resilience chaos report:\n%s", rep.Summary())
+}
+
 // TestChaosRecoveryInvariants is the fault-injection end-to-end: a real
 // daemon OS process with a two-worker fleet takes a mixed load while the
 // controller SIGKILLs a worker mid-evaluation, severs every coordinator

@@ -147,6 +147,7 @@ type Runner struct {
 	watchEvents   atomic.Int64
 	watchResumes  atomic.Int64
 	watchJobs     atomic.Int64
+	rejected429s  atomic.Int64
 
 	scraper *metricsScraper
 }
@@ -158,6 +159,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.Client == nil {
 		return nil, errors.New("loadgen: Config.Client is required")
 	}
+	// The harness measures raw server behaviour: its own submit loop owns
+	// backoff and counts every 429, so the client's transparent retry
+	// policy would hide exactly the rejections a load report exists to
+	// surface.
+	cfg.Client.Retry = nil
 	r := &Runner{cfg: cfg, finals: make(map[string]*fedshap.JobStatus)}
 	r.scraper = newMetricsScraper(cfg.Client, cfg.ScrapeInterval)
 	r.requests, r.warm = generate(cfg)
@@ -175,6 +181,18 @@ func (r *Runner) ScrapeNow(ctx context.Context) *fedshap.Metrics {
 // DeathRequeues reports the cumulative worker-death requeue count
 // observed across every daemon life of the run.
 func (r *Runner) DeathRequeues() int64 { return r.scraper.deathRequeues() }
+
+// DeadlineRequeues reports the cumulative task-deadline requeue count
+// observed across every daemon life of the run.
+func (r *Runner) DeadlineRequeues() int64 { return r.scraper.deadlineRequeues() }
+
+// QuarantineRejections reports the cumulative flap-quarantine attach
+// rejections observed across every daemon life of the run.
+func (r *Runner) QuarantineRejections() int64 { return r.scraper.quarantineRejections() }
+
+// Rejected429s reports how many submissions were shed with HTTP 429
+// before eventually being accepted.
+func (r *Runner) Rejected429s() int64 { return r.rejected429s.Load() }
 
 // Requests exposes the generated submission sequence (for tests and for
 // the chaos controller's replay/control passes).
@@ -335,13 +353,15 @@ func (r *Runner) submitAll(ctx context.Context, watchQueue chan<- string) error 
 // submitBatch submits one batch (or single job), retrying queue-full
 // rejections and connection errors — a daemon mid-restart refuses
 // connections for a moment and a saturated queue sheds load; both are
-// expected under stress, so the generator backs off and persists.
+// expected under stress, so the generator backs off and persists. A 429
+// carrying a Retry-After hint overrides the computed backoff: the server
+// knows its own drain rate better than the client's doubling schedule.
 func (r *Runner) submitBatch(ctx context.Context, batch []fedshap.JobRequest, watchQueue chan<- string) error {
 	pending := batch
 	backoff := 25 * time.Millisecond
 	for len(pending) > 0 {
 		reqStart := time.Now()
-		accepted, rejected, err := r.trySubmit(ctx, pending)
+		accepted, rejected, retryAfter, err := r.trySubmit(ctx, pending)
 		lat := time.Since(reqStart)
 		if err == nil {
 			r.record(accepted, lat, watchQueue)
@@ -359,10 +379,14 @@ func (r *Runner) submitBatch(ctx context.Context, batch []fedshap.JobRequest, wa
 			// Connection refused / 5xx: the daemon is restarting or
 			// saturated. Fall through to back off and retry.
 		}
+		wait := backoff
+		if retryAfter > wait {
+			wait = retryAfter
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		}
 		if backoff < 400*time.Millisecond {
 			backoff *= 2
@@ -372,23 +396,35 @@ func (r *Runner) submitBatch(ctx context.Context, batch []fedshap.JobRequest, wa
 }
 
 // trySubmit performs one submission round trip, splitting per-item
-// outcomes: accepted statuses, queue-full rejections to retry, or a
-// transport/whole-batch error.
-func (r *Runner) trySubmit(ctx context.Context, pending []fedshap.JobRequest) (accepted []*fedshap.JobStatus, rejected []fedshap.JobRequest, err error) {
+// outcomes: accepted statuses, queue-full rejections to retry (with the
+// server's Retry-After hint when it sent one), or a transport/whole-batch
+// error.
+func (r *Runner) trySubmit(ctx context.Context, pending []fedshap.JobRequest) (accepted []*fedshap.JobStatus, rejected []fedshap.JobRequest, retryAfter time.Duration, err error) {
 	if len(pending) == 1 && r.cfg.BatchSize <= 1 {
 		st, err := r.cfg.Client.Submit(ctx, pending[0])
 		if err != nil {
 			var se *fedshap.ServiceError
-			if errors.As(err, &se) && se.StatusCode == 503 {
-				return nil, pending, nil // queue full: retry
+			if errors.As(err, &se) {
+				switch se.StatusCode {
+				case 429: // queue saturated: admission control shed us
+					r.rejected429s.Add(1)
+					return nil, pending, se.RetryAfter, nil
+				case 503: // older daemons shed queue-full as 503
+					return nil, pending, 0, nil
+				}
 			}
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
-		return []*fedshap.JobStatus{st}, nil, nil
+		return []*fedshap.JobStatus{st}, nil, 0, nil
 	}
 	resp, err := r.cfg.Client.SubmitBatch(ctx, pending)
 	if err != nil {
-		return nil, nil, err
+		var se *fedshap.ServiceError
+		if errors.As(err, &se) && se.StatusCode == 429 {
+			r.rejected429s.Add(int64(len(pending)))
+			return nil, pending, se.RetryAfter, nil
+		}
+		return nil, nil, 0, err
 	}
 	for i, item := range resp.Jobs {
 		if item.Status != nil {
@@ -399,7 +435,7 @@ func (r *Runner) trySubmit(ctx context.Context, pending []fedshap.JobRequest) (a
 			rejected = append(rejected, pending[i])
 		}
 	}
-	return accepted, rejected, nil
+	return accepted, rejected, 0, nil
 }
 
 // record registers accepted submissions and feeds the watcher pool.
@@ -511,6 +547,7 @@ func (r *Runner) assemble(wall time.Duration) *Report {
 			Resumes: r.watchResumes.Load(),
 		},
 	}
+	rep.Rejected429s = r.rejected429s.Load()
 	var queueWait, jobLat []time.Duration
 	for _, st := range r.finals {
 		switch st.State {
@@ -520,6 +557,8 @@ func (r *Runner) assemble(wall time.Duration) *Report {
 			rep.Failed++
 		case fedshap.JobCancelled:
 			rep.Cancelled++
+		case fedshap.JobTimedOut:
+			rep.TimedOut++
 		}
 		rep.FreshEvals += int64(st.FreshEvals)
 		rep.WarmedCoalitions += int64(st.WarmedCoalitions)
@@ -558,6 +597,10 @@ type metricsScraper struct {
 	requeueSeen  int64 // current life's latest value
 	redispBase   int64
 	redispSeen   int64
+	deadlineBase int64
+	deadlineSeen int64
+	qrejBase     int64
+	qrejSeen     int64
 	scrapeErrors int64
 }
 
@@ -600,6 +643,14 @@ func (s *metricsScraper) Scrape(ctx context.Context) *fedshap.Metrics {
 			s.redispBase += s.redispSeen
 		}
 		s.redispSeen = m.Fleet.Redispatches
+		if m.Fleet.DeadlineRequeues < s.deadlineSeen {
+			s.deadlineBase += s.deadlineSeen
+		}
+		s.deadlineSeen = m.Fleet.DeadlineRequeues
+		if m.Fleet.QuarantineRejections < s.qrejSeen {
+			s.qrejBase += s.qrejSeen
+		}
+		s.qrejSeen = m.Fleet.QuarantineRejections
 	}
 	return m
 }
@@ -617,4 +668,20 @@ func (s *metricsScraper) deathRequeues() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.requeueBase + s.requeueSeen
+}
+
+// deadlineRequeues returns the cumulative task-deadline requeue count
+// across every daemon life observed.
+func (s *metricsScraper) deadlineRequeues() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deadlineBase + s.deadlineSeen
+}
+
+// quarantineRejections returns the cumulative flap-quarantine attach
+// rejection count across every daemon life observed.
+func (s *metricsScraper) quarantineRejections() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.qrejBase + s.qrejSeen
 }

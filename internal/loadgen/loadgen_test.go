@@ -17,6 +17,7 @@ import (
 	"fedshap/internal/combin"
 	"fedshap/internal/evalnet"
 	"fedshap/internal/experiments"
+	"fedshap/internal/resilience"
 	"fedshap/internal/utility"
 	"fedshap/internal/valserve"
 )
@@ -70,7 +71,11 @@ func envDelay(name string) time.Duration {
 
 // runLoadTestDaemon serves a fedvald-style daemon rooted at dir on the
 // fixed FEDSHAP_LOADTEST_API_ADDR, with a coordinator listener on
-// FEDSHAP_LOADTEST_WORKER_ADDR when set. It serves until killed.
+// FEDSHAP_LOADTEST_WORKER_ADDR when set. FEDSHAP_LOADTEST_FAULT_FILE arms
+// the persistence fault switch (with a fast recovery probe);
+// FEDSHAP_LOADTEST_TASK_DEADLINE_MS, FEDSHAP_LOADTEST_FLAP_THRESHOLD and
+// FEDSHAP_LOADTEST_BENCH_BASE_MS shrink the coordinator's resilience
+// timings to test scale. It serves until killed.
 func runLoadTestDaemon(dir string) {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "loadtest daemon:", err)
@@ -82,17 +87,27 @@ func runLoadTestDaemon(dir string) {
 		if err != nil {
 			fail(err)
 		}
-		coord = evalnet.NewCoordinator()
+		flapThreshold, _ := strconv.Atoi(os.Getenv("FEDSHAP_LOADTEST_FLAP_THRESHOLD"))
+		coord = evalnet.NewCoordinatorWith(evalnet.SchedulerConfig{
+			TaskDeadline:  envDelay("FEDSHAP_LOADTEST_TASK_DEADLINE_MS"),
+			FlapThreshold: flapThreshold,
+			BenchBase:     envDelay("FEDSHAP_LOADTEST_BENCH_BASE_MS"),
+		})
 		go func() { _ = coord.Serve(wln) }()
 	}
-	m, err := valserve.NewManager(valserve.Config{
+	cfg := valserve.Config{
 		Workers:      3,
 		QueueCap:     256,
 		CacheDir:     filepath.Join(dir, "cache"),
 		JournalPath:  filepath.Join(dir, "jobs.jsonl"),
 		BuildProblem: additiveBuilder(envDelay("FEDSHAP_LOADTEST_GAME_DELAY_MS")),
 		Coordinator:  coord,
-	})
+	}
+	if ff := os.Getenv("FEDSHAP_LOADTEST_FAULT_FILE"); ff != "" {
+		cfg.Fault = resilience.FileHook(ff)
+		cfg.DegradedProbeEvery = 250 * time.Millisecond
+	}
+	m, err := valserve.NewManager(cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -223,17 +238,20 @@ func TestPercentilesNearestRank(t *testing.T) {
 }
 
 func TestFaultSequenceInterleaves(t *testing.T) {
-	seq := faultSequence(2, 1, 1)
-	want := []string{"worker", "partition", "daemon", "worker"}
-	if len(seq) != len(want) {
-		t.Fatalf("sequence %v, want %v", seq, want)
-	}
-	for i := range want {
-		if seq[i] != want[i] {
-			t.Fatalf("sequence %v, want %v", seq, want)
+	check := func(got, want []string) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("sequence %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sequence %v, want %v", got, want)
+			}
 		}
 	}
-	if got := faultSequence(0, 0, 0); len(got) != 0 {
+	check(faultSequence(2, 1, 1, 0, 0, 0), []string{"worker", "partition", "daemon", "worker"})
+	check(faultSequence(1, 0, 1, 1, 1, 1), []string{"worker", "daemon", "diskfull", "stall", "flap"})
+	if got := faultSequence(0, 0, 0, 0, 0, 0); len(got) != 0 {
 		t.Errorf("empty quotas produced %v", got)
 	}
 }

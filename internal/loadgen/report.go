@@ -74,13 +74,37 @@ type ChaosReport struct {
 	DaemonKills int `json:"daemon_kills"`
 	WorkerKills int `json:"worker_kills"`
 	Partitions  int `json:"partitions"`
+	// DiskFulls / Stalls / Flaps count the resilience faults: persistence
+	// write failures forced via the daemon's fault file, workers SIGSTOPped
+	// past the task deadline, and workers killed repeatedly to trip the
+	// flap quarantine.
+	DiskFulls int `json:"disk_fulls"`
+	Stalls    int `json:"stalls"`
+	Flaps     int `json:"flaps"`
 	// KillsWithInflight counts worker kills that verifiably interrupted
-	// in-flight evaluations (the kills the redispatch invariant covers).
-	KillsWithInflight int `json:"kills_with_inflight"`
+	// in-flight evaluations (the kills the redispatch invariant covers);
+	// StallsWithInflight the same for SIGSTOPped workers (the stalls the
+	// deadline invariant covers).
+	KillsWithInflight  int `json:"kills_with_inflight"`
+	StallsWithInflight int `json:"stalls_with_inflight"`
+	// DegradedObserved / DegradedRecovered / DegradedCanariesDone track
+	// each disk-full fault: the degraded gauge seen at 1, seen back at 0
+	// after the fault cleared, and the canary job submitted inside the
+	// degraded window reaching done.
+	DegradedObserved     int `json:"degraded_observed"`
+	DegradedRecovered    int `json:"degraded_recovered"`
+	DegradedCanariesDone int `json:"degraded_canaries_done"`
+	// QuarantinesObserved counts flap faults whose victim was seen on the
+	// quarantine bench.
+	QuarantinesObserved int `json:"quarantines_observed"`
 	// ObservedDeathRequeues is the cumulative
 	// fedvald_fleet_redispatch_total{reason="worker-death"} across every
-	// daemon life of the run.
-	ObservedDeathRequeues int64 `json:"observed_death_requeues"`
+	// daemon life of the run; ObservedDeadlineRequeues and
+	// ObservedQuarantineRejections accumulate the task-deadline and
+	// quarantine counters the same way.
+	ObservedDeathRequeues        int64 `json:"observed_death_requeues"`
+	ObservedDeadlineRequeues     int64 `json:"observed_deadline_requeues"`
+	ObservedQuarantineRejections int64 `json:"observed_quarantine_rejections"`
 	// Invariants lists each checked invariant with its verdict.
 	Invariants []InvariantResult `json:"invariants"`
 }
@@ -88,7 +112,8 @@ type ChaosReport struct {
 // InvariantResult is one checked system invariant.
 type InvariantResult struct {
 	// Name identifies the invariant: all-terminal, replay-zero-fresh,
-	// control-bit-identical, redispatch-accounting.
+	// control-bit-identical, redispatch-accounting, deadline-enforced,
+	// quarantine-accounting, degraded-mode-recovery.
 	Name string `json:"name"`
 	// OK reports whether the invariant held.
 	OK bool `json:"ok"`
@@ -115,10 +140,16 @@ type Report struct {
 	// accepted by the daemon (after queue-full retries).
 	Jobs      int `json:"jobs"`
 	Submitted int `json:"submitted"`
-	// Done/Failed/Cancelled partition the terminal states observed.
+	// Done/Failed/Cancelled/TimedOut partition the terminal states
+	// observed.
 	Done      int `json:"done"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+	TimedOut  int `json:"timed_out"`
+	// Rejected429s counts submissions the daemon shed with HTTP 429
+	// before eventually accepting them — nonzero under queue saturation,
+	// it measures how hard admission control worked during the run.
+	Rejected429s int64 `json:"rejected_429s"`
 	// Fingerprints is the number of distinct problem fingerprints the
 	// traffic spread across; WarmResubmits the submissions that repeated
 	// an earlier request verbatim (exercising the persistent store).
@@ -198,13 +229,13 @@ func (r *Report) WriteBenchLines(w io.Writer) error {
 // Summary renders a terse human-readable digest.
 func (r *Report) Summary() string {
 	s := fmt.Sprintf(
-		"jobs %d (done %d, failed %d, cancelled %d) over %d fingerprints, %d warm resubmits\n"+
+		"jobs %d (done %d, failed %d, cancelled %d, timed out %d) over %d fingerprints, %d warm resubmits, %d shed with 429\n"+
 			"wall %.2fs, throughput %.1f jobs/s\n"+
 			"submit   p50 %8.1fms  p95 %8.1fms\n"+
 			"queue    p50 %8.1fms  p95 %8.1fms  p99 %8.1fms\n"+
 			"latency  p50 %8.1fms  p95 %8.1fms  p99 %8.1fms\n"+
 			"evals: %d fresh, %d warmed; watchers: %d jobs, %d events, %d polling fallbacks",
-		r.Submitted, r.Done, r.Failed, r.Cancelled, r.Fingerprints, r.WarmResubmits,
+		r.Submitted, r.Done, r.Failed, r.Cancelled, r.TimedOut, r.Fingerprints, r.WarmResubmits, r.Rejected429s,
 		r.WallSeconds, r.Throughput,
 		r.SubmitLatency.P50*1e3, r.SubmitLatency.P95*1e3,
 		r.QueueWait.P50*1e3, r.QueueWait.P95*1e3, r.QueueWait.P99*1e3,
@@ -215,6 +246,12 @@ func (r *Report) Summary() string {
 		s += fmt.Sprintf("\nchaos: %d daemon kills, %d worker kills (%d with in-flight work), %d partitions, %d death requeues observed",
 			r.Chaos.DaemonKills, r.Chaos.WorkerKills, r.Chaos.KillsWithInflight,
 			r.Chaos.Partitions, r.Chaos.ObservedDeathRequeues)
+		if r.Chaos.DiskFulls+r.Chaos.Stalls+r.Chaos.Flaps > 0 {
+			s += fmt.Sprintf("\nchaos: %d disk-fulls (%d canaries done), %d stalls (%d with in-flight work, %d deadline requeues), %d flaps (%d quarantine rejections)",
+				r.Chaos.DiskFulls, r.Chaos.DegradedCanariesDone,
+				r.Chaos.Stalls, r.Chaos.StallsWithInflight, r.Chaos.ObservedDeadlineRequeues,
+				r.Chaos.Flaps, r.Chaos.ObservedQuarantineRejections)
+		}
 		for _, inv := range r.Chaos.Invariants {
 			mark := "ok  "
 			if !inv.OK {

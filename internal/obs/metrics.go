@@ -377,7 +377,10 @@ func (e *errWriter) Write(p []byte) (int, error) {
 //   - histograms end in a unit: _seconds or _bytes
 //   - gauges end in a unit or counted-noun suffix (_seconds, _bytes,
 //     _ratio, _workers, _jobs, _tasks, _subscribers, _fingerprints,
-//     _specs) and never in _total (which would masquerade as a counter)
+//     _specs, _writes) or — for 0/1 condition flags, in the spirit of
+//     Prometheus's own bare "up" — in a state adjective (_up,
+//     _degraded), and never in _total (which would masquerade as a
+//     counter)
 //
 // The convention is enforced by a test over the live registries, so a new
 // series cannot merge without a scrape-stable, unit-suffixed name.
@@ -385,7 +388,8 @@ func Lint(names map[string]Type) []string {
 	var problems []string
 	gaugeSuffixes := []string{
 		"_seconds", "_bytes", "_ratio", "_workers", "_jobs",
-		"_tasks", "_subscribers", "_fingerprints", "_specs",
+		"_tasks", "_subscribers", "_fingerprints", "_specs", "_writes",
+		"_up", "_degraded",
 	}
 	for name, typ := range names {
 		if !strings.HasPrefix(name, "fedvald_") && !strings.HasPrefix(name, "fedvalworker_") {

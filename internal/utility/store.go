@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"fedshap/internal/combin"
+	"fedshap/internal/resilience"
 )
 
 // Store is a disk-backed coalition-utility cache shared across processes
@@ -26,9 +27,30 @@ import (
 type Store struct {
 	dir string
 
-	mu    sync.Mutex
-	files map[string]*AppendFile // append handles per fingerprint
-	err   error                  // first write error, reported by Close
+	// Fault, when set, is consulted before every durable write — the
+	// injectable seam tests and the chaos harness use to simulate a
+	// full or failing disk. Set it before the store is shared between
+	// goroutines.
+	Fault *resilience.Hook
+	// OnError, when set, observes every write failure (outside the
+	// store mutex). The valuation service hooks it to flip into
+	// degraded, memory-only operation. Set before sharing.
+	OnError func(error)
+
+	mu      sync.Mutex
+	files   map[string]*AppendFile // append handles per fingerprint
+	err     error                  // first write error, reported by Close
+	pending []pendingWrite         // utilities buffered while the disk fails
+}
+
+// pendingWrite is one utility that could not be persisted when it was
+// produced. Buffering instead of dropping is what makes degraded mode
+// lossless: FlushPending replays the buffer once writes succeed again,
+// so a degrade/restore cycle leaves the cache exactly as if the disk
+// had never failed.
+type pendingWrite struct {
+	fp  string
+	rec storeRecord
 }
 
 // storeRecord is the JSONL schema for one persisted utility.
@@ -92,19 +114,64 @@ func (st *Store) Append(fingerprint string, s combin.Coalition, u float64) error
 	if err := checkFingerprint(fingerprint); err != nil {
 		return err
 	}
+	lo, hi := s.Words()
+	rec := storeRecord{Lo: lo, Hi: hi, U: u}
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	err := st.appendLocked(fingerprint, rec)
+	if err != nil {
+		st.pending = append(st.pending, pendingWrite{fp: fingerprint, rec: rec})
+		st.recordErr(err)
+	}
+	onErr := st.OnError
+	st.mu.Unlock()
+	if err != nil && onErr != nil {
+		onErr(err)
+	}
+	return err
+}
+
+// appendLocked writes one record through the fault hook and the
+// per-fingerprint append handle. Call with st.mu held.
+func (st *Store) appendLocked(fingerprint string, rec storeRecord) error {
+	if err := st.Fault.Check("store.append"); err != nil {
+		return err
+	}
 	f, ok := st.files[fingerprint]
 	if !ok {
 		f = NewAppendFile(st.path(fingerprint))
 		st.files[fingerprint] = f
 	}
-	lo, hi := s.Words()
-	if err := f.Append(storeRecord{Lo: lo, Hi: hi, U: u}); err != nil {
-		st.recordErr(err)
-		return err
+	return f.Append(rec)
+}
+
+// FlushPending replays utilities buffered while the disk was failing,
+// in production order. On the first failure it stops, keeping the
+// unwritten tail for the next probe; after a complete flush the latched
+// write error is cleared — the disk has caught up, so Close should not
+// report a stale fault. It returns the number of records flushed.
+func (st *Store) FlushPending() (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	flushed := 0
+	for len(st.pending) > 0 {
+		p := st.pending[0]
+		if err := st.appendLocked(p.fp, p.rec); err != nil {
+			return flushed, err
+		}
+		st.pending = st.pending[1:]
+		flushed++
 	}
-	return nil
+	st.pending = nil
+	st.err = nil
+	return flushed, nil
+}
+
+// PendingWrites reports the number of utilities waiting in the
+// degraded-mode buffer.
+func (st *Store) PendingWrites() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.pending)
 }
 
 // recordErr keeps the first write failure for Close. Callers on the

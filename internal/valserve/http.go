@@ -34,7 +34,15 @@ import (
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Degraded (memory-only persistence) is still 200: the daemon is
+		// alive and serving jobs, and a restart would lose the in-memory
+		// state a probe-driven restart loop is supposed to protect. The
+		// body says so; alerting keys off the fedvald_degraded gauge.
+		status := "ok"
+		if m.Degraded() {
+			status = "degraded"
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": status})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		// Content negotiation: the JSON snapshot stays the default for
@@ -59,7 +67,7 @@ func NewHandler(m *Manager) http.Handler {
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrQueueFull):
-				writeError(w, http.StatusServiceUnavailable, err.Error())
+				writeQueueFull(w, m, err)
 			case errors.Is(err, ErrClosed):
 				writeError(w, http.StatusServiceUnavailable, err.Error())
 			default:
@@ -238,7 +246,9 @@ func NewHandler(m *Manager) http.Handler {
 				writeError(w, http.StatusNotFound, err.Error())
 			case errors.Is(err, ErrNotRevaluable):
 				writeError(w, http.StatusConflict, err.Error())
-			case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+			case errors.Is(err, ErrQueueFull):
+				writeQueueFull(w, m, err)
+			case errors.Is(err, ErrClosed):
 				writeError(w, http.StatusServiceUnavailable, err.Error())
 			default:
 				writeError(w, http.StatusBadRequest, err.Error())
@@ -268,6 +278,19 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, st.Report)
 	})
 	return mux
+}
+
+// writeQueueFull turns queue saturation into 429 Too Many Requests with a
+// Retry-After hint derived from the observed queue drain rate, so clients
+// back off for roughly one dequeue interval instead of hammering a full
+// queue (503 is reserved for a daemon that is shutting down).
+func writeQueueFull(w http.ResponseWriter, m *Manager, err error) {
+	secs := int(m.SubmitRetryAfter() / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

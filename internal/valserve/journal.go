@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fedshap"
+	"fedshap/internal/resilience"
 	"fedshap/internal/utility"
 )
 
@@ -24,11 +25,12 @@ const (
 	// EventProgress: a fresh coalition evaluation completed (FreshEvals
 	// advanced toward Budget).
 	EventProgress = "progress"
-	// EventDone / EventFailed / EventCancelled: terminal transitions.
-	// The done snapshot includes the final Report.
+	// EventDone / EventFailed / EventCancelled / EventTimedOut: terminal
+	// transitions. The done snapshot includes the final Report.
 	EventDone      = "done"
 	EventFailed    = "failed"
 	EventCancelled = "cancelled"
+	EventTimedOut  = "timed_out"
 	// EventValues: an interim anytime snapshot (Event.Values) from a job
 	// running with Confidence set. Streamed over SSE, never journaled.
 	EventValues = "values"
@@ -49,6 +51,8 @@ func eventTypeForState(s fedshap.JobState) string {
 		return EventFailed
 	case fedshap.JobCancelled:
 		return EventCancelled
+	case fedshap.JobTimedOut:
+		return EventTimedOut
 	}
 	return EventProgress
 }
@@ -86,6 +90,15 @@ type Journal struct {
 	// Lifecycle transitions are never throttled. Replay does not depend
 	// on progress records — they exist for post-mortem observability.
 	ProgressEvery time.Duration
+
+	// Fault, when set, is consulted before every append and rewrite —
+	// the injectable seam tests and the chaos harness use to simulate a
+	// full or failing disk. Set it before the journal is shared.
+	Fault *resilience.Hook
+	// OnError, when set, observes every write failure (under the journal
+	// mutex — it must not call back into the journal). The valuation
+	// service hooks it to flip into degraded, memory-only operation.
+	OnError func(error)
 
 	mu           sync.Mutex
 	err          error
@@ -149,8 +162,17 @@ func (jl *Journal) Append(event string, st *fedshap.JobStatus) {
 	if st.State.Terminal() {
 		delete(jl.lastProgress, st.ID)
 	}
-	if err := jl.file.Append(journalRecord{Event: event, ID: st.ID, At: now, Status: st}); err != nil && jl.err == nil {
-		jl.err = err
+	err := jl.Fault.Check("journal.append")
+	if err == nil {
+		err = jl.file.Append(journalRecord{Event: event, ID: st.ID, At: now, Status: st})
+	}
+	if err != nil {
+		if jl.err == nil {
+			jl.err = err
+		}
+		if jl.OnError != nil {
+			jl.OnError(err)
+		}
 	}
 }
 
@@ -207,7 +229,36 @@ func (jl *Journal) Compact(live []*fedshap.JobStatus) error {
 func (jl *Journal) CompactWith(collect func() []*fedshap.JobStatus) error {
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
-	live := collect()
+	return jl.rewriteLocked(collect())
+}
+
+// Restore attempts one full snapshot rewrite and, on success, clears
+// the journal's latched write error — the degraded-mode recovery probe.
+// A successful rewrite re-journals every live job from scratch, so any
+// records lost while the disk was failing are reconstructed; the stale
+// error must not survive to Close once the file on disk is whole again.
+func (jl *Journal) Restore(collect func() []*fedshap.JobStatus) error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if err := jl.rewriteLocked(collect()); err != nil {
+		return err
+	}
+	jl.err = nil
+	return nil
+}
+
+// rewriteLocked replaces the journal with one snapshot per live job.
+// Call with jl.mu held.
+func (jl *Journal) rewriteLocked(live []*fedshap.JobStatus) error {
+	if err := jl.Fault.Check("journal.rewrite"); err != nil {
+		if jl.err == nil {
+			jl.err = err
+		}
+		if jl.OnError != nil {
+			jl.OnError(err)
+		}
+		return err
+	}
 	now := time.Now().UTC()
 	rows := make([][]byte, 0, len(live))
 	for _, st := range live {
@@ -228,6 +279,9 @@ func (jl *Journal) CompactWith(collect func() []*fedshap.JobStatus) error {
 	if err := utility.ReplaceJSONL(jl.path, rows); err != nil {
 		if jl.err == nil {
 			jl.err = err
+		}
+		if jl.OnError != nil {
+			jl.OnError(err)
 		}
 		return err
 	}

@@ -20,6 +20,7 @@ import (
 	"fedshap/internal/evalnet"
 	"fedshap/internal/experiments"
 	"fedshap/internal/obs"
+	"fedshap/internal/resilience"
 	"fedshap/internal/shapley"
 	"fedshap/internal/utility"
 )
@@ -44,6 +45,12 @@ type Config struct {
 	TrainWorkers int
 	// QueueCap bounds pending jobs; Submit fails when full (default 64).
 	QueueCap int
+	// AdmitWatermark, when in (0, 1), lowers the admission bound below
+	// QueueCap: submissions are rejected with ErrQueueFull once the queue
+	// reaches AdmitWatermark × QueueCap, keeping headroom for recovery
+	// requeues and revaluation follow-ups. 0 (and 1) admit up to the full
+	// capacity.
+	AdmitWatermark float64
 	// CacheDir roots the persistent utility store; "" disables
 	// persistence.
 	CacheDir string
@@ -83,6 +90,16 @@ type Config struct {
 	// across its remote worker fleet (cmd/fedvalworker daemons). Jobs fall
 	// back to in-process evaluation while no workers are attached.
 	Coordinator *evalnet.Coordinator
+	// Fault, when set, is installed as the journal's and store's fault
+	// hook — the injectable seam unit tests and the chaos harness use to
+	// fail persistence writes on demand (see internal/resilience.Hook and
+	// the FEDVALD_FAULT_FILE switch in cmd/fedvald).
+	Fault *resilience.Hook
+	// DegradedProbeEvery is how often a degraded manager re-probes
+	// persistence: each probe rewrites the journal from live state and
+	// flushes the store's pending-write buffer, clearing the degraded
+	// flag once both succeed (default 1s).
+	DegradedProbeEvery time.Duration
 	// Logger receives structured job-lifecycle logs (submissions,
 	// transitions, terminal outcomes) with job-ID correlation; nil
 	// discards them.
@@ -204,6 +221,8 @@ func (j *Job) observeTerminal(state fedshap.JobState, now time.Time) {
 		j.tel.jobsFailed.Inc()
 	case fedshap.JobCancelled:
 		j.tel.jobsCancelled.Inc()
+	case fedshap.JobTimedOut:
+		j.tel.jobsTimedOut.Inc()
 	}
 	if !j.enqueuedAt.IsZero() {
 		j.tel.jobDuration.Observe(now.Sub(j.enqueuedAt).Seconds())
@@ -296,10 +315,24 @@ type Manager struct {
 	gcDone      chan struct{}
 	compactStop chan struct{}
 	compactDone chan struct{}
+	probeStop   chan struct{}
+	probeDone   chan struct{}
 
 	// compactions / compactDropped feed the /metrics cache section.
 	compactions    atomic.Int64
 	compactDropped atomic.Int64
+
+	// degraded is set by the first journal/store write failure: the
+	// manager keeps serving jobs memory-only while the probe loop retries
+	// persistence (see onPersistError / tryRestore).
+	degraded atomic.Bool
+
+	// drainMu guards the queue-drain EWMA behind Retry-After estimation:
+	// the smoothed interval between job dequeues, observed by the worker
+	// pool.
+	drainMu     sync.Mutex
+	drainEWMA   time.Duration
+	lastDequeue time.Time
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -352,6 +385,8 @@ func NewManager(cfg Config) (*Manager, error) {
 		if err != nil {
 			return nil, err
 		}
+		st.Fault = cfg.Fault
+		st.OnError = m.onPersistError
 		m.store = st
 	}
 	var pending []*Job
@@ -360,6 +395,8 @@ func NewManager(cfg Config) (*Manager, error) {
 		if err != nil {
 			return nil, err
 		}
+		jl.Fault = cfg.Fault
+		jl.OnError = m.onPersistError
 		m.journal = jl
 		if pending, err = m.replay(); err != nil {
 			return nil, err
@@ -385,6 +422,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		go func() {
 			defer m.wg.Done()
 			for j := range m.queue {
+				m.noteDequeue()
 				m.runJob(j)
 			}
 		}()
@@ -403,7 +441,114 @@ func NewManager(cfg Config) (*Manager, error) {
 		m.compactDone = make(chan struct{})
 		go m.compactLoop(cfg.CompactEvery)
 	}
+	if m.journal != nil || m.store != nil {
+		interval := cfg.DegradedProbeEvery
+		if interval <= 0 {
+			interval = time.Second
+		}
+		m.probeStop = make(chan struct{})
+		m.probeDone = make(chan struct{})
+		go m.probeLoop(interval)
+	}
 	return m, nil
+}
+
+// onPersistError flips the manager into degraded, memory-only operation
+// on a journal or store write failure. Serving jobs beats preserving
+// them: valuation keeps running and results stay available over the
+// API, while the probe loop retries persistence in the background and
+// re-journals everything once the disk recovers.
+func (m *Manager) onPersistError(err error) {
+	if m.degraded.CompareAndSwap(false, true) {
+		m.logger.Error("persistence failed; entering degraded (memory-only) mode",
+			"error", err.Error())
+	}
+}
+
+// Degraded reports memory-only operation: a persistence write failed
+// and the background probe has not yet restored the disk. Exposed on
+// /healthz and as the fedvald_degraded gauge.
+func (m *Manager) Degraded() bool { return m.degraded.Load() }
+
+// probeLoop retries persistence while the manager is degraded.
+func (m *Manager) probeLoop(interval time.Duration) {
+	defer close(m.probeDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.probeStop:
+			return
+		case <-t.C:
+			if m.degraded.Load() {
+				m.tryRestore()
+			}
+		}
+	}
+}
+
+// tryRestore attempts to leave degraded mode: rewrite the journal from
+// live job state — reconstructing every record lost while the disk was
+// failing, including transitions that happened memory-only — then flush
+// the store's pending utility buffer. The degraded flag clears only
+// when both succeed; a partial recovery keeps probing.
+func (m *Manager) tryRestore() {
+	if m.journal != nil {
+		if err := m.journal.Restore(m.snapshotsOldestFirst); err != nil {
+			return
+		}
+	}
+	var flushed int
+	if m.store != nil {
+		n, err := m.store.FlushPending()
+		flushed = n
+		if err != nil {
+			return
+		}
+	}
+	if m.degraded.CompareAndSwap(true, false) {
+		m.logger.Info("persistence restored; leaving degraded mode",
+			"store_flushed", flushed)
+	}
+}
+
+// noteDequeue feeds the queue-drain EWMA each time a pool worker picks
+// up a job — the basis for SubmitRetryAfter's 429 hint.
+func (m *Manager) noteDequeue() {
+	now := time.Now()
+	m.drainMu.Lock()
+	if !m.lastDequeue.IsZero() {
+		d := now.Sub(m.lastDequeue)
+		if m.drainEWMA == 0 {
+			m.drainEWMA = d
+		} else {
+			m.drainEWMA = (3*m.drainEWMA + d) / 4
+		}
+	}
+	m.lastDequeue = now
+	m.drainMu.Unlock()
+}
+
+// SubmitRetryAfter estimates when a rejected submission is worth
+// retrying: roughly one queue-drain interval, from the EWMA of the
+// worker pool's dequeue cadence. With no drain history it answers 1s.
+// The result is clamped to [1s, 60s] and rounded up to whole seconds —
+// the granularity of an HTTP Retry-After header.
+func (m *Manager) SubmitRetryAfter() time.Duration {
+	m.drainMu.Lock()
+	d := m.drainEWMA
+	m.drainMu.Unlock()
+	secs := int64(1)
+	if d > 0 {
+		secs = int64((d + time.Second - 1) / time.Second)
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // checkJournalPlacement rejects a journal that store compaction would
@@ -435,7 +580,10 @@ func checkJournalPlacement(cfg Config) error {
 // watchers.
 func (m *Manager) attachNotify(j *Job) {
 	j.notify = func(event string, st *fedshap.JobStatus) {
-		if m.journal != nil {
+		// While degraded, transitions stay memory-only: the append would
+		// fail anyway, and the recovery probe re-journals every job from
+		// live state, so nothing is missing once the disk heals.
+		if m.journal != nil && !m.degraded.Load() {
 			m.journal.Append(event, st)
 		}
 		m.hub.publish(st.ID, Event{Type: event, Status: st})
@@ -486,7 +634,12 @@ func (m *Manager) replay() ([]*Job, error) {
 		}
 	}
 	if err := m.journal.Compact(m.snapshotsOldestFirst()); err != nil {
-		return nil, err
+		// A failing disk must not block startup: the journal already
+		// replayed into memory, so serve degraded and let the probe loop
+		// restore persistence (the Compact failure flipped the flag via
+		// OnError).
+		m.logger.Warn("startup journal compaction failed; continuing degraded",
+			"error", err.Error())
 	}
 	return pending, nil
 }
@@ -591,13 +744,13 @@ func (m *Manager) submit(req fedshap.JobRequest, revalueOf string) (*fedshap.Job
 	j.trace.Event("submit", "daemon", "algorithm", req.Algorithm)
 	j.queueSpan = j.trace.StartSpan("queue", "daemon")
 	m.jobs[j.status.ID] = j
-	// Admission is bounded by the configured QueueCap, not the channel's
-	// capacity: recovery may have sized the channel larger to fit a
-	// replayed backlog, and that headroom must not leak into a higher
-	// steady-state admission limit. Both the length check and the send
-	// happen under m.mu, so the bound is exact.
+	// Admission is bounded by the configured QueueCap (scaled by the
+	// watermark), not the channel's capacity: recovery may have sized the
+	// channel larger to fit a replayed backlog, and that headroom must
+	// not leak into a higher steady-state admission limit. Both the
+	// length check and the send happen under m.mu, so the bound is exact.
 	var enqueued bool
-	if len(m.queue) < m.cfg.QueueCap {
+	if len(m.queue) < m.admitLimit() {
 		select {
 		case m.queue <- j:
 			enqueued = true
@@ -620,6 +773,18 @@ func (m *Manager) submit(req fedshap.JobRequest, revalueOf string) (*fedshap.Job
 	j.emit(EventSubmitted, st)
 	j.emitMu.Unlock()
 	return st, nil
+}
+
+// admitLimit is the admission bound: QueueCap scaled by the configured
+// watermark, at least 1.
+func (m *Manager) admitLimit() int {
+	if w := m.cfg.AdmitWatermark; w > 0 && w < 1 {
+		if limit := int(float64(m.cfg.QueueCap) * w); limit >= 1 {
+			return limit
+		}
+		return 1
+	}
+	return m.cfg.QueueCap
 }
 
 // SubmitBatch validates and enqueues many jobs in one call — the
@@ -1017,6 +1182,8 @@ func (m *Manager) Metrics() *fedshap.Metrics {
 			mt.Jobs.Failed++
 		case fedshap.JobCancelled:
 			mt.Jobs.Cancelled++
+		case fedshap.JobTimedOut:
+			mt.Jobs.TimedOut++
 		}
 		mt.Cache.WarmedTotal += int64(st.WarmedCoalitions)
 		mt.Cache.FreshTotal += int64(st.FreshEvals)
@@ -1045,6 +1212,7 @@ func (m *Manager) Metrics() *fedshap.Metrics {
 		fleet := m.cfg.Coordinator.Stats()
 		mt.Fleet = &fleet
 	}
+	mt.Degraded = m.degraded.Load()
 	return &mt
 }
 
@@ -1085,6 +1253,10 @@ func (m *Manager) Close() error {
 	if m.compactStop != nil {
 		close(m.compactStop)
 		<-m.compactDone
+	}
+	if m.probeStop != nil {
+		close(m.probeStop)
+		<-m.probeDone
 	}
 	for _, j := range jobs {
 		j.cancel()
@@ -1155,6 +1327,19 @@ func (m *Manager) buildProblem(req fedshap.JobRequest) (*experiments.Problem, er
 	return BuildProblem(req)
 }
 
+// finishInterrupted maps a cancellation-shaped run error to its
+// terminal state: the run deadline expiring while nobody cancelled the
+// job itself is a timeout (the new timed_out terminal state); every
+// other interruption — user cancel, shutdown — stays cancelled.
+func finishInterrupted(j *Job, runCtx context.Context, req fedshap.JobRequest, err error) {
+	if errors.Is(runCtx.Err(), context.DeadlineExceeded) && j.ctx.Err() == nil {
+		j.finish(fedshap.JobTimedOut,
+			fmt.Sprintf("deadline exceeded (%gs)", req.DeadlineSeconds), nil)
+		return
+	}
+	j.finish(fedshap.JobCancelled, err.Error(), nil)
+}
+
 // runJob executes one job on the worker pool. Algorithm or substrate
 // panics become job failures, not daemon crashes.
 func (m *Manager) runJob(j *Job) {
@@ -1169,6 +1354,17 @@ func (m *Manager) runJob(j *Job) {
 	}()
 
 	req := j.snapshot().Request
+	// The job deadline clock starts when the job leaves the queue, not at
+	// submission: queue wait is the daemon's fault, not the job's. runCtx
+	// bounds everything below — problem build, warm start, dispatch, the
+	// final aggregation — while j.ctx alone still distinguishes explicit
+	// cancellation (finishInterrupted keys off the difference).
+	runCtx := j.ctx
+	if d := req.DeadlineSeconds; d > 0 {
+		var cancelDeadline context.CancelFunc
+		runCtx, cancelDeadline = context.WithTimeout(j.ctx, time.Duration(d*float64(time.Second)))
+		defer cancelDeadline()
+	}
 	alg, err := NewValuer(req.Algorithm, req.Gamma, req.K)
 	if err != nil {
 		j.finish(fedshap.JobFailed, err.Error(), nil)
@@ -1257,7 +1453,7 @@ func (m *Manager) runJob(j *Job) {
 		localLimit := evalWorkers
 		var sess *evalnet.Session
 		oracle.WrapEval(func(local utility.EvalFunc) utility.EvalFunc {
-			sess = c.NewSessionWith(j.ctx, evalnet.SessionConfig{
+			sess = c.NewSessionWith(runCtx, evalnet.SessionConfig{
 				Spec:         spec,
 				Local:        local,
 				LocalLimit:   localLimit,
@@ -1292,11 +1488,11 @@ func (m *Manager) runJob(j *Job) {
 			driveSpan := j.trace.StartSpan("anytime_drive", "daemon")
 			driveSpan.SetInt("planned", int64(len(plan)))
 			driveSpan.SetInt("workers", int64(evalWorkers))
-			stopped, derr := any.drivePlan(j.ctx, oracle, plan, evalWorkers, req.RankStop)
+			stopped, derr := any.drivePlan(runCtx, oracle, plan, evalWorkers, req.RankStop)
 			driveSpan.End()
 			if derr != nil {
 				if errors.Is(derr, context.Canceled) || errors.Is(derr, context.DeadlineExceeded) {
-					j.finish(fedshap.JobCancelled, derr.Error(), nil)
+					finishInterrupted(j, runCtx, req, derr)
 				} else {
 					j.finish(fedshap.JobFailed, derr.Error(), nil)
 				}
@@ -1333,7 +1529,7 @@ func (m *Manager) runJob(j *Job) {
 			prefetchSpan := j.trace.StartSpan("prefetch", "daemon")
 			prefetchSpan.SetInt("planned", int64(len(plan)))
 			prefetchSpan.SetInt("workers", int64(evalWorkers))
-			_ = oracle.Prefetch(j.ctx, plan, evalWorkers)
+			_ = oracle.Prefetch(runCtx, plan, evalWorkers)
 			prefetchSpan.End()
 		}
 	}
@@ -1350,14 +1546,14 @@ func (m *Manager) runJob(j *Job) {
 	aggSpan := j.trace.StartSpan("aggregate", "daemon")
 	aggSpan.SetAttr("algorithm", alg.Name())
 	view := utility.NewRunView(oracle)
-	sctx := shapley.NewContext(view, req.Seed+2).WithSpec(p.Spec).WithContext(j.ctx)
+	sctx := shapley.NewContext(view, req.Seed+2).WithSpec(p.Spec).WithContext(runCtx)
 	values, err := shapley.Run(sctx, alg)
 	aggSpan.SetInt("evaluations", int64(oracle.Evals()))
 	aggSpan.End()
 	elapsed := time.Since(start).Seconds()
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			j.finish(fedshap.JobCancelled, err.Error(), nil)
+			finishInterrupted(j, runCtx, req, err)
 		} else {
 			j.finish(fedshap.JobFailed, err.Error(), nil)
 		}

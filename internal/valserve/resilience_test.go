@@ -1,0 +1,317 @@
+package valserve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"math"
+
+	"fedshap"
+	"fedshap/internal/experiments"
+	"fedshap/internal/resilience"
+)
+
+// TestDegradedModeFlipCompleteRestore is the degraded-persistence
+// contract end to end: a failing disk mid-run flips the manager to
+// memory-only operation, jobs submitted while degraded still complete,
+// and once writes succeed again the probe restores persistence — with
+// the restored journal and store complete enough that a restarted
+// manager sees every job and report.
+func TestDegradedModeFlipCompleteRestore(t *testing.T) {
+	dir := t.TempDir()
+	hook := &resilience.Hook{}
+	cfg := Config{
+		Workers:            1,
+		CacheDir:           filepath.Join(dir, "cache"),
+		JournalPath:        filepath.Join(dir, "journal.jsonl"),
+		Fault:              hook,
+		DegradedProbeEvery: 30 * time.Millisecond,
+		BuildProblem:       gameBuilder(0, nil),
+	}
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := fedshap.JobRequest{N: 4, Algorithm: "ipss", Gamma: 6}
+
+	// Job 1 completes healthy.
+	st1, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done1 := waitState(t, m, st1.ID, terminal)
+	if done1.State != fedshap.JobDone {
+		t.Fatalf("healthy job state = %s", done1.State)
+	}
+	if m.Degraded() {
+		t.Fatal("manager degraded with no fault injected")
+	}
+
+	// Disk starts failing: the next persistence write flips the manager.
+	hook.Set(func(op string) error { return errors.New("induced: disk full") })
+	req2 := req
+	req2.Seed = 2 // distinct fingerprint: forces fresh evals and store writes
+	st2, err := m.Submit(req2)
+	if err != nil {
+		t.Fatalf("submit while disk failing: %v", err)
+	}
+	done2 := waitState(t, m, st2.ID, terminal)
+	if done2.State != fedshap.JobDone || done2.Report == nil {
+		t.Fatalf("degraded job state = %s (report %v)", done2.State, done2.Report != nil)
+	}
+	if !m.Degraded() {
+		t.Fatal("manager not degraded after persistence write failures")
+	}
+	if got := m.Metrics(); !got.Degraded {
+		t.Fatal("Metrics().Degraded = false while degraded")
+	}
+
+	// Disk heals: the probe must clear the flag and flush the buffer.
+	hook.Clear()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("manager never recovered after the fault cleared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A clean close must not report the stale write error.
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close after recovery: %v", err)
+	}
+
+	// A restarted manager replays both jobs with their reports — the
+	// restore rewrote the journal from live state, so nothing written
+	// into the failing-disk window is missing.
+	m2, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	for _, id := range []string{st1.ID, st2.ID} {
+		st, err := m2.Get(id)
+		if err != nil {
+			t.Fatalf("job %s lost across degrade/restore/restart: %v", id, err)
+		}
+		if st.State != fedshap.JobDone || st.Report == nil {
+			t.Fatalf("job %s replayed as %s (report %v)", id, st.State, st.Report != nil)
+		}
+	}
+}
+
+// TestDegradedJobBitIdentical checks the acceptance bar directly: a job
+// submitted during degraded operation produces the same values as the
+// identical job submitted healthy.
+func TestDegradedJobBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	hook := &resilience.Hook{}
+	m, err := NewManager(Config{
+		Workers:            1,
+		CacheDir:           filepath.Join(dir, "cache"),
+		JournalPath:        filepath.Join(dir, "journal.jsonl"),
+		Fault:              hook,
+		DegradedProbeEvery: 20 * time.Millisecond,
+		BuildProblem:       gameBuilder(0, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	req := fedshap.JobRequest{N: 5, Algorithm: "ipss", Gamma: 8}
+	healthy, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := waitState(t, m, healthy.ID, terminal)
+
+	hook.Set(func(op string) error { return errors.New("induced: disk full") })
+	// A different seed forces fresh evaluations (the first job's cache
+	// would otherwise answer everything); then compare against the same
+	// seed resubmitted after recovery.
+	reqB := req
+	reqB.Seed = 3
+	degradedJob, err := m.Submit(reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degSt := waitState(t, m, degradedJob.ID, terminal)
+	if !m.Degraded() {
+		t.Fatal("manager not degraded")
+	}
+	hook.Clear()
+
+	again, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	againSt := waitState(t, m, again.ID, terminal)
+
+	if ref.Report == nil || againSt.Report == nil || degSt.Report == nil {
+		t.Fatal("missing reports")
+	}
+	if len(ref.Report.Values) != len(againSt.Report.Values) {
+		t.Fatal("value length mismatch")
+	}
+	for i := range ref.Report.Values {
+		if ref.Report.Values[i] != againSt.Report.Values[i] {
+			t.Fatalf("value[%d] differs across degrade window: %v vs %v",
+				i, ref.Report.Values[i], againSt.Report.Values[i])
+		}
+	}
+}
+
+// TestJobDeadlineTimesOut submits a job whose per-eval delay guarantees
+// it overruns its DeadlineSeconds and checks it terminates as timed_out
+// with the deadline in the error, counted in the metrics snapshot.
+func TestJobDeadlineTimesOut(t *testing.T) {
+	m, err := NewManager(Config{
+		Workers:      1,
+		BuildProblem: gameBuilder(20*time.Millisecond, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	req := fedshap.JobRequest{N: 6, Algorithm: "ipss", Gamma: 40, DeadlineSeconds: 0.1}
+	st, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := waitState(t, m, st.ID, terminal)
+	if end.State != fedshap.JobTimedOut {
+		t.Fatalf("state = %s, want %s (error %q)", end.State, fedshap.JobTimedOut, end.Error)
+	}
+	if !strings.Contains(end.Error, "deadline exceeded") {
+		t.Errorf("error = %q, want mention of the deadline", end.Error)
+	}
+	if mt := m.Metrics(); mt.Jobs.TimedOut != 1 {
+		t.Errorf("Metrics().Jobs.TimedOut = %d, want 1", mt.Jobs.TimedOut)
+	}
+}
+
+// TestDeadlineValidation rejects non-finite and negative deadlines.
+func TestDeadlineValidation(t *testing.T) {
+	m, err := NewManager(Config{Workers: 1, BuildProblem: gameBuilder(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for _, d := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := m.Submit(fedshap.JobRequest{N: 4, Algorithm: "ipss", Gamma: 4, DeadlineSeconds: d}); err == nil {
+			t.Errorf("Submit with deadline_seconds=%v accepted", d)
+		}
+	}
+}
+
+// TestQueueFull429RetryAfter drives the HTTP layer: queue saturation is
+// 429 Too Many Requests with a Retry-After hint, not 503.
+func TestQueueFull429RetryAfter(t *testing.T) {
+	gate := make(chan struct{})
+	m, err := NewManager(Config{
+		Workers:  1,
+		QueueCap: 1,
+		BuildProblem: func(req fedshap.JobRequest) (*experiments.Problem, error) {
+			<-gate
+			return gameBuilder(0, nil)(req)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	defer close(gate)
+
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	req := fedshap.JobRequest{N: 4, Algorithm: "ipss", Gamma: 4}
+	post := func() *http.Response {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	first := post()
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", first.StatusCode)
+	}
+	var st1 fedshap.JobStatus
+	_ = json.NewDecoder(first.Body).Decode(&st1)
+	waitState(t, m, st1.ID, func(s *fedshap.JobStatus) bool { return s.State == fedshap.JobRunning })
+
+	if second := post(); second.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d", second.StatusCode)
+	}
+	third := post()
+	if third.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full submit: %d, want 429", third.StatusCode)
+	}
+	ra, err := strconv.Atoi(third.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", third.Header.Get("Retry-After"))
+	}
+}
+
+// TestHealthzDegraded reports degraded (still 200) on the liveness probe.
+func TestHealthzDegraded(t *testing.T) {
+	dir := t.TempDir()
+	hook := &resilience.Hook{}
+	m, err := NewManager(Config{
+		Workers:            1,
+		JournalPath:        filepath.Join(dir, "journal.jsonl"),
+		Fault:              hook,
+		DegradedProbeEvery: time.Hour, // keep it degraded for the assertion
+		BuildProblem:       gameBuilder(0, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	health := func() string {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz status = %d", resp.StatusCode)
+		}
+		var body map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return body["status"]
+	}
+
+	if got := health(); got != "ok" {
+		t.Fatalf("healthy /healthz status = %q", got)
+	}
+	hook.Set(func(op string) error { return errors.New("induced: disk full") })
+	st, err := m.Submit(fedshap.JobRequest{N: 4, Algorithm: "ipss", Gamma: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, terminal)
+	if !m.Degraded() {
+		t.Fatal("manager not degraded")
+	}
+	if got := health(); got != "degraded" {
+		t.Fatalf("degraded /healthz status = %q", got)
+	}
+}

@@ -28,6 +28,7 @@ type telemetry struct {
 	jobsDone      *obs.Counter
 	jobsFailed    *obs.Counter
 	jobsCancelled *obs.Counter
+	jobsTimedOut  *obs.Counter
 
 	jobDuration *obs.Histogram
 	queueWait   *obs.Histogram
@@ -65,6 +66,8 @@ func newTelemetry(m *Manager) *telemetry {
 		"Jobs reaching a terminal state, by outcome.", "state", "failed")
 	t.jobsCancelled = r.NewCounter("fedvald_jobs_completed_total",
 		"Jobs reaching a terminal state, by outcome.", "state", "cancelled")
+	t.jobsTimedOut = r.NewCounter("fedvald_jobs_completed_total",
+		"Jobs reaching a terminal state, by outcome.", "state", "timed_out")
 
 	t.jobDuration = r.NewHistogram("fedvald_job_duration_seconds",
 		"End-to-end job latency, enqueue to terminal state.",
@@ -102,6 +105,22 @@ func newTelemetry(m *Manager) *telemetry {
 		func() float64 { return float64(cap(m.queue)) })
 	r.NewGaugeFunc("fedvald_sse_subscribers", "Open SSE event-stream subscriptions across all jobs.",
 		func() float64 { return float64(m.hub.subscriberCount()) })
+	r.NewGaugeFunc("fedvald_degraded",
+		"1 while the daemon runs memory-only after a persistence write failure, 0 when the journal and store are healthy.",
+		func() float64 {
+			if m.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	r.NewGaugeFunc("fedvald_store_pending_writes",
+		"Utilities buffered in memory while the store's disk is failing (flushed on recovery).",
+		func() float64 {
+			if m.store == nil {
+				return 0
+			}
+			return float64(m.store.PendingWrites())
+		})
 
 	r.NewGaugeFunc("fedvald_cache_hit_ratio",
 		"Warmed / (warmed + fresh) coalition utilities since process start.",
@@ -163,13 +182,22 @@ func newTelemetry(m *Manager) *telemetry {
 			"Autoscaling signal: workers needed to drain the evaluation backlog (queue depth x EWMA latency) within 30s.",
 			func() float64 { return float64(c.WantedWorkers(wantedWorkersTarget)) })
 		r.NewCollector("fedvald_fleet_redispatch_total",
-			"Evaluations re-dispatched, by reason: speculative straggler relief vs worker death.", obs.TypeCounter,
+			"Evaluations re-dispatched, by reason: speculative straggler relief, worker death, or task deadline.", obs.TypeCounter,
 			func() []obs.Sample {
 				s := c.Stats()
 				return []obs.Sample{
 					{Labels: []string{"reason", "straggler"}, Value: float64(s.Redispatches)},
 					{Labels: []string{"reason", "worker-death"}, Value: float64(s.Requeues)},
+					{Labels: []string{"reason", "deadline"}, Value: float64(s.DeadlineRequeues)},
 				}
+			})
+		r.NewGaugeFunc("fedvald_fleet_quarantined_workers",
+			"Worker names currently benched by flap quarantine.",
+			func() float64 { return float64(len(c.Stats().Quarantined)) })
+		r.NewCollector("fedvald_fleet_quarantine_rejections_total",
+			"Attach attempts refused because the worker name was serving a quarantine bench.", obs.TypeCounter,
+			func() []obs.Sample {
+				return []obs.Sample{{Value: float64(c.Stats().QuarantineRejections)}}
 			})
 		r.NewCollector("fedvald_fleet_redispatch_wins_total",
 			"Speculative copies that answered before the original assignment.", obs.TypeCounter,

@@ -33,6 +33,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
@@ -223,6 +224,9 @@ func ValidateRequest(req fedshap.JobRequest, lenientData bool) error {
 	}
 	if req.Gamma < 0 {
 		return fmt.Errorf("gamma=%d must be non-negative", req.Gamma)
+	}
+	if req.DeadlineSeconds < 0 || math.IsNaN(req.DeadlineSeconds) || math.IsInf(req.DeadlineSeconds, 0) {
+		return fmt.Errorf("deadline_seconds=%g must be a non-negative finite number; 0 disables the deadline", req.DeadlineSeconds)
 	}
 	if req.Confidence < 0 || req.Confidence >= 1 {
 		return fmt.Errorf("confidence=%g out of range [0,1); 0 disables anytime tracking", req.Confidence)

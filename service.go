@@ -10,8 +10,11 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
+
+	"fedshap/internal/resilience"
 )
 
 // Valuation job service wire API: the JSON types exchanged between the
@@ -29,11 +32,15 @@ const (
 	JobDone      JobState = "done"
 	JobFailed    JobState = "failed"
 	JobCancelled JobState = "cancelled"
+	// JobTimedOut is reached by a running job that exceeded its
+	// JobRequest.DeadlineSeconds budget. Like the other terminal states
+	// it survives a daemon restart.
+	JobTimedOut JobState = "timed_out"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == JobDone || s == JobFailed || s == JobCancelled
+	return s == JobDone || s == JobFailed || s == JobCancelled || s == JobTimedOut
 }
 
 // JobRequest describes a valuation job, mirroring the fedval CLI flags:
@@ -62,6 +69,12 @@ type JobRequest struct {
 	// Workers bounds the job's concurrent coalition evaluations
 	// (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// DeadlineSeconds, when > 0, bounds the job's run time: a job still
+	// executing this many seconds after it leaves the queue is stopped
+	// and reaches the terminal timed_out state. Queue wait does not
+	// count, and the deadline is not part of the problem fingerprint —
+	// re-submitting with a different deadline reuses cached utilities.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 	// Confidence, when in (0, 1), turns on anytime valuation: the job
 	// tracks running per-client estimates with simultaneous confidence
 	// intervals at this level and streams interim "values" events over
@@ -211,6 +224,10 @@ type WorkerInfo struct {
 	// Redispatched counts speculative straggler-relief copies this worker
 	// received.
 	Redispatched int64 `json:"redispatched"`
+	// Flaps counts this worker name's recent unexpected disconnects
+	// inside the coordinator's flap window. Reaching the flap threshold
+	// benches the name (see FleetMetrics.Quarantined).
+	Flaps int `json:"flaps,omitempty"`
 }
 
 // FleetMetrics is the scheduler section of GET /metrics: the remote
@@ -230,6 +247,14 @@ type FleetMetrics struct {
 	// Requeues counts tasks re-dispatched because their worker died
 	// mid-evaluation (distinct from speculative straggler relief).
 	Requeues int64 `json:"requeues"`
+	// DeadlineRequeues counts tasks requeued because a worker held them
+	// past the per-task deadline (fedvald -task-deadline) — hung, not
+	// merely slow.
+	DeadlineRequeues int64 `json:"deadline_requeues,omitempty"`
+	// Quarantined lists worker names currently benched for flapping;
+	// QuarantineRejections counts attach attempts refused while benched.
+	Quarantined          []string `json:"quarantined,omitempty"`
+	QuarantineRejections int64    `json:"quarantine_rejections,omitempty"`
 }
 
 // TraceSpan is one step of a job's trace timeline (GET
@@ -272,12 +297,14 @@ type JobTrace struct {
 
 // JobMetrics is the job-table section of GET /metrics.
 type JobMetrics struct {
-	// Queued/Running/Done/Failed/Cancelled count jobs per lifecycle state.
+	// Queued/Running/Done/Failed/Cancelled/TimedOut count jobs per
+	// lifecycle state.
 	Queued    int `json:"queued"`
 	Running   int `json:"running"`
 	Done      int `json:"done"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+	TimedOut  int `json:"timed_out"`
 	// QueueDepth is the number of jobs waiting for a pool worker;
 	// QueueCapacity is the admission limit (fedvald -queue).
 	QueueDepth    int `json:"queue_depth"`
@@ -323,18 +350,30 @@ type Metrics struct {
 	Journal JournalMetrics `json:"journal"`
 	// Fleet is nil when the daemon runs without -worker-addr.
 	Fleet *FleetMetrics `json:"fleet,omitempty"`
+	// Degraded reports memory-only operation: a journal or store write
+	// failed and the daemon is running without persistence until its
+	// background probe restores it (see OPERATIONS.md, "Failure modes &
+	// degraded operation").
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // ServiceError is a non-2xx daemon response.
 type ServiceError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter carries the server's Retry-After hint on throttled
+	// responses (HTTP 429 when the job queue is saturated); 0 when the
+	// response had none. Retry policies prefer it over computed backoff.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *ServiceError) Error() string {
 	return fmt.Sprintf("fedshap: service: %s (HTTP %d)", e.Message, e.StatusCode)
 }
+
+// RetryAfterHint implements resilience.RetryAfterHinter.
+func (e *ServiceError) RetryAfterHint() time.Duration { return e.RetryAfter }
 
 // ErrJobNotFound is reported for unknown job IDs.
 var ErrJobNotFound = errors.New("fedshap: job not found")
@@ -345,11 +384,24 @@ type ServiceClient struct {
 	BaseURL string
 	// HTTPClient overrides http.DefaultClient when set.
 	HTTPClient *http.Client
+	// Retry, when non-nil, governs transparent request retries:
+	// idempotent GETs are retried on transport errors and 502/503/504,
+	// and any request on 429 — honoring the server's Retry-After over
+	// the policy's own backoff. NewServiceClient installs a conservative
+	// default; set nil (or build the struct directly) to disable.
+	Retry *resilience.Policy
 }
 
 // NewServiceClient builds a client for the daemon at base.
 func NewServiceClient(base string) *ServiceClient {
-	return &ServiceClient{BaseURL: strings.TrimRight(base, "/")}
+	return &ServiceClient{
+		BaseURL: strings.TrimRight(base, "/"),
+		Retry: &resilience.Policy{
+			Initial:     200 * time.Millisecond,
+			Max:         5 * time.Second,
+			MaxAttempts: 4,
+		},
+	}
 }
 
 func (c *ServiceClient) httpClient() *http.Client {
@@ -360,37 +412,85 @@ func (c *ServiceClient) httpClient() *http.Client {
 }
 
 func (c *ServiceClient) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		buf, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+		payload = buf
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
-	if err != nil {
-		return err
+	attempt := func(ctx context.Context) error {
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return decodeServiceError(resp)
+		}
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if c.Retry == nil {
+		return attempt(ctx)
 	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
+	return c.Retry.Do(ctx, func(ctx context.Context) error {
+		err := attempt(ctx)
+		if err == nil || retryableRequestError(method, err) {
+			return err
+		}
+		return resilience.Permanent(err)
+	})
+}
+
+// retryableRequestError decides which failures a retry can plausibly
+// fix: a 429 on any method (the request was rejected before any state
+// changed, and the server asked us back), and transport errors or
+// gateway-style 5xx on idempotent GETs. Everything else — validation
+// errors, not-found, a 503 from a daemon that is shutting down, or a
+// transport error on a POST that may already have been applied — is
+// permanent.
+func retryableRequestError(method string, err error) bool {
+	var se *ServiceError
+	if errors.As(err, &se) {
+		if se.StatusCode == http.StatusTooManyRequests {
+			return true
+		}
+		if method == http.MethodGet {
+			switch se.StatusCode {
+			case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+				return true
+			}
+		}
+		return false
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return decodeServiceError(resp)
+	if errors.Is(err, ErrJobNotFound) {
+		return false
 	}
-	if out == nil {
-		return nil
+	if method == http.MethodGet {
+		var ue *url.Error
+		return errors.As(err, &ue)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return false
 }
 
 // decodeServiceError turns a non-2xx daemon response into an error,
-// extracting the {"error": "..."} envelope when present.
+// extracting the {"error": "..."} envelope and any Retry-After hint
+// when present.
 func decodeServiceError(resp *http.Response) error {
 	if resp.StatusCode == http.StatusNotFound {
 		return ErrJobNotFound
@@ -402,7 +502,13 @@ func decodeServiceError(resp *http.Response) error {
 	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
 		msg = e.Error
 	}
-	return &ServiceError{StatusCode: resp.StatusCode, Message: msg}
+	se := &ServiceError{StatusCode: resp.StatusCode, Message: msg}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
 }
 
 // Submit enqueues a valuation job and returns its initial status.
@@ -537,7 +643,7 @@ func (c *ServiceClient) Revalue(ctx context.Context, id string, changed []int) (
 // (GET /v1/jobs/{id}/events) and returns its final status once the job
 // reaches a terminal state. onEvent, when non-nil, observes every
 // notification: event is the transition name — "submitted", "running",
-// "progress", "done", "failed" or "cancelled" — and st is the job's full
+// "progress", "done", "failed", "cancelled" or "timed_out" — and st is the job's full
 // status snapshot at that moment (the done snapshot carries the Report).
 // The daemon pushes events as they happen, so progress arrives without
 // polling latency or per-poll request cost; it also emits ": ping"
