@@ -1,0 +1,89 @@
+// Command fedvallint is the project-invariant static analysis suite: it
+// machine-checks the source-level rules the runtime test suites can only
+// catch after the fact — determinism in value-affecting packages,
+// context threading, lock hygiene, durability of persistence writes, and
+// the metric naming convention.
+//
+// Usage:
+//
+//	fedvallint [-json] [packages]   # default pattern ./...
+//	fedvallint -list                # print analyzer names, one per line
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on a
+// usage or load error. Diagnostics print as file:line:col: message
+// [check]; -json emits them as a JSON array for machine consumption.
+// Violations that are deliberate carry a
+// //fedvallint:allow(<check>) <reason> annotation at the site.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fedshap/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print analyzer names, one per line, and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fedvallint [-list] [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Println(a.Name)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedvallint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.NewLoader().Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedvallint:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, analyzers)
+
+	// Report paths relative to the working directory, like go vet.
+	if wd, err := os.Getwd(); err == nil {
+		for i := range diags {
+			if rel, err := filepath.Rel(wd, diags[i].File); err == nil && len(rel) < len(diags[i].File) {
+				diags[i].File = rel
+			}
+		}
+	}
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []analysis.Diagnostic{} // a clean run is [], not null
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "fedvallint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/exec"
@@ -406,32 +407,31 @@ func writeOutputs(rep *loadgen.Report, jsonOut, benchOut string) error {
 			return err
 		}
 	} else if jsonOut != "" {
-		f, err := os.Create(jsonOut)
-		if err != nil {
-			return err
-		}
-		if err := rep.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeFile(jsonOut, rep.WriteJSON); err != nil {
 			return err
 		}
 	}
 	if benchOut != "" {
-		f, err := os.Create(benchOut)
-		if err != nil {
-			return err
-		}
-		if err := rep.WriteBenchLines(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeFile(benchOut, rep.WriteBenchLines); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeFile creates path, streams the report through write, and checks
+// the close error on every path — Close flushes, so its error is a write
+// error.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // freeAddr reserves a loopback port and releases it for a child process

@@ -23,8 +23,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gendemo:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
-	if err := d.WriteCSV(f); err != nil {
+	err = d.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gendemo:", err)
 		os.Exit(1)
 	}

@@ -361,6 +361,7 @@ type Report struct {
 // Value runs a valuation algorithm against a fresh utility oracle.
 // The seed drives the algorithm's sampling decisions.
 func (f *Federation) Value(alg Valuer, seed int64) (*Report, error) {
+	//fedvallint:allow(ctxthread) context-free compat wrapper; ValueCtx is the cancellable entry point
 	return f.ValueCtx(context.Background(), alg, seed)
 }
 
@@ -402,6 +403,7 @@ func (f *Federation) ExactValues(seed int64) (*Report, error) {
 // unchanged; only wall-clock shrinks. workers <= 0 selects GOMAXPROCS;
 // workers == 1 degrades gracefully to the serial path.
 func (f *Federation) ValueParallel(alg Valuer, seed int64, workers int) (*Report, error) {
+	//fedvallint:allow(ctxthread) context-free compat wrapper; ValueParallelCtx is the cancellable entry point
 	return f.ValueParallelCtx(context.Background(), alg, seed, workers)
 }
 
@@ -459,6 +461,7 @@ func (f *Federation) Utilities(coalitions []Coalition, workers int) []float64 {
 		in[i] = toCoalition(c)
 	}
 	// A background context cannot be cancelled, so EvalBatch cannot fail.
+	//fedvallint:allow(ctxthread) context-free convenience API; the cancellable path is Oracle.EvalBatch
 	out, _ := oracle.EvalBatch(context.Background(), in, workers)
 	return out
 }

@@ -1,0 +1,138 @@
+// Package analysis is fedvallint's analyzer framework: a dependency-free
+// (stdlib go/parser + go/types + source importer) static analysis suite
+// that machine-checks the project invariants the runtime test suites can
+// only catch after the fact — bit-identical valuations across worker
+// counts, journaled durability, cancellation that reaches the hot loops,
+// lock discipline, and the metric naming convention.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// without the dependency: a Loader parses and type-checks packages, each
+// Analyzer walks the typed ASTs through a Pass and reports Diagnostics,
+// and Run filters reports through //fedvallint:allow suppression
+// directives. cmd/fedvallint is the CLI; the golden testdata suites under
+// testdata/src pin each analyzer's behaviour.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one reported invariant violation, positioned for
+// file:line:col output and machine consumption (-json).
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Check)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // import path the package was checked under
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil when untyped.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string // one line, shown by fedvallint -list
+	Run  func(*Pass)
+}
+
+// DirectiveCheck is the pseudo-check name under which malformed
+// //fedvallint:allow directives are reported. It is not a registered
+// analyzer and cannot itself be suppressed, so stale or typo'd
+// suppressions fail the build instead of rotting silently.
+const DirectiveCheck = "directive"
+
+// Analyzers returns the full fedvallint suite in stable (alphabetical)
+// order. fedvallint -list prints exactly these names.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerCtxThread,
+		AnalyzerDeterminism,
+		AnalyzerDurability,
+		AnalyzerLockHygiene,
+		AnalyzerObsMetrics,
+	}
+}
+
+// Run executes the analyzers over the loaded packages, validates
+// suppression directives, filters suppressed diagnostics, and returns the
+// survivors sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup, dirDiags := collectDirectives(pkg, known)
+		diags = append(diags, dirDiags...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Path:     pkg.Path,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				if sup.allows(a.Name, d.File, d.Line) {
+					return
+				}
+				diags = append(diags, d)
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"fedshap/internal/obs"
+)
+
+func TestAnalyzersSortedAndDocumented(t *testing.T) {
+	as := Analyzers()
+	if len(as) < 5 {
+		t.Fatalf("expected at least 5 analyzers, got %d", len(as))
+	}
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc string", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no run function", a.Name)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("analyzer names are not sorted: %v", names)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "x.go", Line: 3, Col: 7, Check: "determinism", Message: "range over map"}
+	got := d.String()
+	want := "x.go:3:7: range over map [determinism]"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestModuleRoot(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(root, "repo") && root == "" {
+		t.Errorf("unexpected module root %q", root)
+	}
+	path, err := modulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "fedshap" {
+		t.Errorf("module path = %q, want fedshap", path)
+	}
+	if _, err := ModuleRoot("/"); err == nil {
+		t.Error("expected error for directory outside any module")
+	}
+}
+
+func TestMetricProblems(t *testing.T) {
+	if p := MetricProblems("fedvald_jobs_total", obs.TypeCounter, 2); len(p) != 0 {
+		t.Errorf("clean metric reported problems: %v", p)
+	}
+	p := MetricProblems("bad_name", obs.TypeCounter, 4)
+	joined := strings.Join(p, "\n")
+	for _, frag := range []string{"process prefix", "counter must end in _total", "cardinality ceiling"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("problems %q missing %q", joined, frag)
+		}
+	}
+}

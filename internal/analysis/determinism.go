@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// valueAffecting lists the import-path fragments of packages whose code
+// feeds valuation results, problem fingerprints or serialized output —
+// the places where an unsorted map range, an unseeded global RNG or a
+// wall-clock read silently breaks the bit-identity contract the
+// parallel-determinism suite pins at runtime.
+var valueAffecting = []string{
+	"/internal/shapley",
+	"/internal/fl",
+	"/internal/model",
+	"/internal/tensor",
+	"/internal/utility",
+}
+
+// AnalyzerDeterminism flags nondeterminism hazards inside value-affecting
+// packages: range over a map (iteration order varies run to run), calls
+// to the global math/rand source (shared, unseeded, not replayable), and
+// time.Now (wall-clock values leaking into results). Sites that are
+// provably value-neutral — a latency measurement, a map range whose body
+// is order-independent — carry a //fedvallint:allow(determinism)
+// annotation saying why.
+var AnalyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no map ranges, global math/rand or time.Now in value-affecting packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	affecting := false
+	for _, frag := range valueAffecting {
+		if strings.Contains(pass.Path, frag) {
+			affecting = true
+			break
+		}
+	}
+	if !affecting {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.X.Pos(),
+							"range over map %s: iteration order is nondeterministic and can break bit-identical valuations; iterate sorted keys instead", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			case *ast.SelectorExpr:
+				obj, ok := pass.Info.Uses[n.Sel]
+				if !ok {
+					return true
+				}
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "math/rand", "math/rand/v2":
+					switch fn.Name() {
+					case "New", "NewSource", "NewPCG", "NewChaCha8":
+						// Constructors for explicitly seeded generators are
+						// exactly what the rule steers code toward.
+					default:
+						pass.Reportf(n.Pos(),
+							"%s.%s uses the global math/rand source: unseeded and shared, so draws are not replayable; use a seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+					}
+				case "time":
+					if fn.Name() == "Now" {
+						pass.Reportf(n.Pos(),
+							"time.Now in a value-affecting package: wall-clock reads must not feed values or fingerprints")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

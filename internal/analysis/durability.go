@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDurability flags unchecked error returns at persistence call
+// sites — the writes the journaled-durability guarantee (crash recovery,
+// replay-zero-fresh) rests on. Covered callees:
+//
+//   - any error-returning method on a type named Journal or Store (the
+//     job journal and the utility store)
+//   - *os.File Write/WriteString/WriteAt/Sync/Truncate, always
+//   - *os.File Close, unless the file provably came from os.Open in the
+//     same function (closing a read-only file cannot lose data)
+//
+// "Unchecked" covers expression statements, defer/go statements, and
+// assignments that send the error to the blank identifier. Deliberate
+// discards (best-effort cleanup on an error path) annotate the site with
+// //fedvallint:allow(durability) and a reason.
+var AnalyzerDurability = &Analyzer{
+	Name: "durability",
+	Doc:  "journal/store/file write errors are checked, not discarded",
+	Run:  runDurability,
+}
+
+func runDurability(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var fn *ast.FuncDecl
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fn = n
+			default:
+				return true
+			}
+			if fn.Body == nil {
+				return true
+			}
+			readOnly := readOnlyFiles(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						checkDurabilityCall(pass, call, readOnly, "discarded")
+					}
+				case *ast.DeferStmt:
+					checkDurabilityCall(pass, n.Call, readOnly, "discarded by defer")
+				case *ast.GoStmt:
+					checkDurabilityCall(pass, n.Call, readOnly, "discarded by go statement")
+				case *ast.AssignStmt:
+					checkBlankedError(pass, n, readOnly)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// checkBlankedError flags assignments whose error result from a
+// persistence call lands in the blank identifier.
+func checkBlankedError(pass *Pass, as *ast.AssignStmt, readOnly map[types.Object]bool) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sig := calleeSignature(pass, call)
+	if sig == nil || len(as.Lhs) != sig.Results().Len() {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if !isErrorType(sig.Results().At(i).Type()) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			checkDurabilityCall(pass, call, readOnly, "assigned to _")
+		}
+		return
+	}
+}
+
+// checkDurabilityCall reports the call if it is a persistence write whose
+// error is being thrown away.
+func checkDurabilityCall(pass *Pass, call *ast.CallExpr, readOnly map[types.Object]bool, how string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	sig := calleeSignature(pass, call)
+	if sig == nil || !returnsError(sig) {
+		return
+	}
+	recvType := pass.TypeOf(sel.X)
+	if recvType == nil {
+		return
+	}
+	if ptr, ok := recvType.(*types.Pointer); ok {
+		recvType = ptr.Elem()
+	}
+	named, ok := recvType.(*types.Named)
+	if !ok {
+		return
+	}
+	name, method := named.Obj().Name(), sel.Sel.Name
+	switch {
+	case name == "Journal" || name == "Store":
+		pass.Reportf(call.Pos(), "error from %s.%s %s: persistence write errors must be checked so durability degrades loudly", name, method, how)
+	case name == "File" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "os":
+		switch method {
+		case "Write", "WriteString", "WriteAt", "Sync", "Truncate":
+			pass.Reportf(call.Pos(), "error from os.File.%s %s: file write errors must be checked", method, how)
+		case "Close":
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && readOnly[pass.Info.Uses[id]] {
+				return
+			}
+			pass.Reportf(call.Pos(), "error from os.File.Close %s on a possibly written file: Close flushes, so its error is a write error", how)
+		}
+	}
+}
+
+// readOnlyFiles finds locals assigned from os.Open in the function body —
+// files that are provably read-only, whose Close errors carry no data.
+func readOnlyFiles(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || fn.Name() != "Open" {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// returnsError reports whether the signature's results include error.
+func returnsError(sig *types.Signature) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the predeclared error type.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

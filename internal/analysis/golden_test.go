@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The loader is shared across every test in the package: the source
+// importer caches type-checked dependencies, so stdlib packages (context,
+// sync, os, ...) are only compiled once per `go test` run.
+var (
+	loaderOnce   sync.Once
+	sharedLoader *Loader
+)
+
+func testLoader() *Loader {
+	loaderOnce.Do(func() { sharedLoader = NewLoader() })
+	return sharedLoader
+}
+
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// wantsIn parses `// want "substring"` expectations from a file, keyed
+// by 1-based line number.
+func wantsIn(t *testing.T, path string) map[int][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	wants := make(map[int][]string)
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+			wants[line] = append(wants[line], m[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// runGolden type-checks testdata/src/<dir> under importPath, runs the
+// named analyzer, and compares the diagnostics against the file's
+// `// want` comments: every diagnostic must match an expectation on its
+// line, and every expectation must be hit.
+func runGolden(t *testing.T, check, dir, importPath string) {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := testLoader().LoadDir(abs, importPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, check)})
+
+	wants := make(map[string]map[int][]string)
+	matched := make(map[string]map[int][]bool)
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		p := filepath.Join(abs, e.Name())
+		wants[p] = wantsIn(t, p)
+		matched[p] = make(map[int][]bool)
+		for line, frags := range wants[p] {
+			matched[p][line] = make([]bool, len(frags))
+		}
+	}
+
+	for _, d := range diags {
+		frags := wants[d.File][d.Line]
+		hit := false
+		for i, frag := range frags {
+			if strings.Contains(d.Message, frag) && !matched[d.File][d.Line][i] {
+				matched[d.File][d.Line][i] = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for path, byLine := range matched {
+		for line, hits := range byLine {
+			for i, hit := range hits {
+				if !hit {
+					t.Errorf("%s:%d: expected diagnostic containing %q, got none",
+						path, line, wants[path][line][i])
+				}
+			}
+		}
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	// The testdata only arms the analyzer when checked under a
+	// value-affecting import path.
+	runGolden(t, "determinism", "determinism", "fedshap/internal/shapley")
+}
+
+func TestDeterminismNeutralPath(t *testing.T) {
+	// The same files under a neutral path are out of scope: wall-clock
+	// and global rand are fine in, say, telemetry code.
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", "determinism"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := testLoader().LoadDir(abs, "example.com/neutral")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, "determinism")}) {
+		t.Errorf("unexpected diagnostic under neutral path: %s", d)
+	}
+}
+
+func TestGoldenCtxThread(t *testing.T) {
+	runGolden(t, "ctxthread", "ctxthread", "example.com/ctxthread")
+}
+
+func TestGoldenLockHygiene(t *testing.T) {
+	runGolden(t, "lockhygiene", "lockhygiene", "example.com/lockhygiene")
+}
+
+func TestGoldenDurability(t *testing.T) {
+	runGolden(t, "durability", "durability", "example.com/durability")
+}
+
+func TestGoldenObsMetrics(t *testing.T) {
+	runGolden(t, "obsmetrics", "obsmetrics", "example.com/obsmetrics")
+}
+
+// TestSelfLint runs every analyzer over the whole repository and demands
+// a clean report: any new violation must be fixed or carry a justified
+// fedvallint:allow before it can merge.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo type check is slow; skipped in -short mode")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := testLoader().Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("repository is not fedvallint-clean: %s", d)
+	}
+}

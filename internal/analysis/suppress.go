@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Suppression directives take the form
+//
+//	//fedvallint:allow(<check>) <reason>
+//
+// and silence diagnostics of that check on the directive's own line and
+// the line immediately below it — so the directive works both as a
+// trailing comment on the offending line and as a standalone comment
+// above it. The reason is mandatory: an allow without a justification is
+// itself a diagnostic, as is an allow naming a check that does not exist
+// (so suppressions cannot outlive the analyzer they silence). Multiple
+// checks may be listed comma-separated.
+var directiveRe = regexp.MustCompile(`^//fedvallint:allow\(([^)]*)\)(.*)$`)
+
+// supKey identifies one silenced (check, file, line) triple.
+type supKey struct {
+	check string
+	file  string
+	line  int
+}
+
+type supSet map[supKey]bool
+
+func (s supSet) allows(check, file string, line int) bool {
+	return s[supKey{check, file, line}]
+}
+
+// collectDirectives scans every comment in the package for fedvallint
+// directives, returning the suppression set and one diagnostic per
+// malformed directive (unknown check name, missing reason).
+func collectDirectives(pkg *Package, known map[string]bool) (supSet, []Diagnostic) {
+	sup := make(supSet)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.HasPrefix(c.Text, "//fedvallint:") {
+						pos := pkg.Fset.Position(c.Pos())
+						diags = append(diags, Diagnostic{
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Check:   DirectiveCheck,
+							Message: "malformed fedvallint directive: want //fedvallint:allow(<check>) <reason>",
+						})
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				reason := strings.TrimSpace(m[2])
+				if reason == "" {
+					diags = append(diags, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check:   DirectiveCheck,
+						Message: "fedvallint:allow directive needs a reason after the check name",
+					})
+				}
+				for _, check := range strings.Split(m[1], ",") {
+					check = strings.TrimSpace(check)
+					if !known[check] {
+						diags = append(diags, Diagnostic{
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Check:   DirectiveCheck,
+							Message: fmt.Sprintf("fedvallint:allow names unknown check %q; run fedvallint -list for valid names", check),
+						})
+						continue
+					}
+					if reason == "" {
+						continue
+					}
+					sup[supKey{check, pos.Filename, pos.Line}] = true
+					sup[supKey{check, pos.Filename, pos.Line + 1}] = true
+				}
+			}
+		}
+	}
+	return sup, diags
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDirectiveValidation asserts the diagnostic set for the directive
+// testdata: malformed, reason-less, and unknown-check allows are all
+// errors, while well-formed allows (including comma lists) suppress.
+func TestDirectiveValidation(t *testing.T) {
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", "directive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A value-affecting path arms determinism alongside ctxthread, which
+	// the comma-list fixture needs.
+	pkg, err := testLoader().LoadDir(abs, "fedshap/internal/shapley")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, Analyzers())
+
+	type want struct {
+		check, frag string
+	}
+	wants := []want{
+		{DirectiveCheck, `unknown check "bogus"`},
+		{DirectiveCheck, "needs a reason"},
+		{DirectiveCheck, "malformed fedvallint directive"},
+		{"ctxthread", "outside package main"}, // unknownCheck: allow was invalid
+		{"ctxthread", "outside package main"}, // missingReason: allow not registered
+		{"ctxthread", "outside package main"}, // malformed: allow not parsed
+	}
+	used := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if !used[i] && d.Check == w.check && strings.Contains(d.Message, w.frag) {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic [%s] containing %q", w.check, w.frag)
+		}
+	}
+	for i, d := range diags {
+		if !used[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+func TestSupSetAllows(t *testing.T) {
+	s := supSet{supKey{"determinism", "a.go", 10}: true}
+	if !s.allows("determinism", "a.go", 10) {
+		t.Error("expected suppression to apply")
+	}
+	if s.allows("determinism", "a.go", 11) || s.allows("ctxthread", "a.go", 10) {
+		t.Error("suppression leaked to another line or check")
+	}
+}

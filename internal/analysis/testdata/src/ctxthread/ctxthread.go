@@ -1,0 +1,47 @@
+// Package ctxthread is golden testdata for the context-threading
+// analyzer.
+package ctxthread
+
+import "context"
+
+func leaf(ctx context.Context) error { return ctx.Err() }
+
+func threadedOK(ctx context.Context) error {
+	return leaf(ctx)
+}
+
+func derivedOK(ctx context.Context) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return leaf(cctx)
+}
+
+func drops(ctx context.Context) error {
+	return leaf(context.Background()) // want "already receives a ctx"
+}
+
+func todoDrops(ctx context.Context) error {
+	return leaf(context.TODO()) // want "already receives a ctx"
+}
+
+func fresh() error {
+	ctx := context.Background() // want "outside package main"
+	return leaf(ctx)
+}
+
+func allowedFallback(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background() //fedvallint:allow(ctxthread) nil-ctx compat fallback
+	}
+	return leaf(ctx)
+}
+
+func nilCtx() error {
+	return leaf(nil) // want "nil passed for a context.Context"
+}
+
+func closureDrops(ctx context.Context) func() error {
+	return func() error {
+		return leaf(context.Background()) // want "already receives a ctx"
+	}
+}

@@ -1,0 +1,52 @@
+// Package shapley is golden testdata for the determinism analyzer. The
+// golden harness type-checks it under the import path of a real
+// value-affecting package (fedshap/internal/shapley), which is what arms
+// the analyzer; the same files checked under a neutral path must produce
+// no diagnostics.
+package shapley
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mapRange(m map[string]int) int {
+	total := 0
+	for k, v := range m { // want "range over map"
+		total += v + len(k)
+	}
+	//fedvallint:allow(determinism) order-independent sum, pinned by the golden suite
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRangeOK(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want "global math/rand"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand"
+}
+
+func seededRandOK(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func annotatedClock() time.Time {
+	return time.Now() //fedvallint:allow(determinism) latency telemetry only, never feeds values
+}

@@ -1,0 +1,50 @@
+// Package directive is golden testdata for suppression-directive
+// validation. The harness loads it under a value-affecting import path so
+// both ctxthread and determinism are armed, then asserts the exact
+// diagnostic set in code (want-comments cannot annotate directive lines:
+// a trailing marker would become part of the directive's reason).
+package directive
+
+import "context"
+
+func leaf(ctx context.Context) error { return ctx.Err() }
+
+// An allow naming a check that does not exist is itself a diagnostic and
+// suppresses nothing, so the Background call below still fires.
+func unknownCheck() error {
+	//fedvallint:allow(bogus) not a real check
+	ctx := context.Background()
+	return leaf(ctx)
+}
+
+// An allow without a reason is a diagnostic and is not registered.
+func missingReason() error {
+	//fedvallint:allow(ctxthread)
+	ctx := context.Background()
+	return leaf(ctx)
+}
+
+// A fedvallint: comment that is not allow(...) is malformed.
+func malformed() error {
+	//fedvallint:allowctxthread whatever
+	ctx := context.Background()
+	return leaf(ctx)
+}
+
+// A well-formed allow suppresses the line immediately below it.
+func wellFormed() error {
+	//fedvallint:allow(ctxthread) golden fixture for effective suppression
+	ctx := context.Background()
+	return leaf(ctx)
+}
+
+// A comma list with one reason suppresses several checks at once.
+func commaList(ctx context.Context, m map[string]int) int {
+	total := 0
+	//fedvallint:allow(determinism,ctxthread) golden fixture for comma-separated check lists
+	for _, v := range m {
+		total += v
+	}
+	_ = ctx
+	return total
+}

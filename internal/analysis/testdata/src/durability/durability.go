@@ -1,0 +1,79 @@
+// Package durability is golden testdata for the durability analyzer.
+// Journal and Store stub the persistence layer: the analyzer matches
+// error-returning methods on those type names.
+package durability
+
+import "os"
+
+type Journal struct{}
+
+func (j *Journal) Append(rec string) error { return nil }
+
+type Store struct{}
+
+func (s *Store) Append(k string, v float64) error { return nil }
+
+func journalDiscard(j *Journal) {
+	j.Append("x") // want "Journal.Append discarded"
+}
+
+func journalDefer(j *Journal) {
+	defer j.Append("x") // want "discarded by defer"
+}
+
+func journalBlank(j *Journal) {
+	_ = j.Append("x") // want "assigned to _"
+}
+
+func journalAllowed(j *Journal) {
+	//fedvallint:allow(durability) best-effort write in golden testdata
+	_ = j.Append("x")
+}
+
+func journalChecked(j *Journal) error {
+	return j.Append("x")
+}
+
+func storeDiscard(s *Store) {
+	s.Append("fp", 1) // want "Store.Append discarded"
+}
+
+func fileWrites(f *os.File) {
+	f.Write(nil)  // want "os.File.Write discarded"
+	f.Sync()      // want "os.File.Sync discarded"
+	go f.Sync()   // want "discarded by go statement"
+	f.Truncate(0) // want "os.File.Truncate discarded"
+}
+
+func writableClose() error {
+	f, err := os.Create("out")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "possibly written file"
+	_, werr := f.WriteString("x")
+	return werr
+}
+
+func readOnlyCloseOK() error {
+	f, err := os.Open("in")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	_, rerr := f.Read(buf)
+	return rerr
+}
+
+func checkedCloseOK() error {
+	f, err := os.Create("out")
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteString("x")
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,48 @@
+// Package lockhygiene is golden testdata for the lock-hygiene analyzer.
+package lockhygiene
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the running count; guarded by mu.
+	n int
+	// name is immutable after construction, so it needs no guard.
+	name string
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) Peek() int {
+	return c.n // want "guarded by mu"
+}
+
+func (c *counter) peekLocked() int {
+	//fedvallint:allow(lockhygiene) locked helper by contract; callers hold c.mu
+	return c.n
+}
+
+func (c *counter) Name() string {
+	return c.name
+}
+
+func (c counter) Copied() string { // want "value receiver of lock-containing type"
+	return c.name
+}
+
+func consume(c counter) int { // want "copies lock-containing type"
+	return 0
+}
+
+func consumeOK(c *counter) int {
+	return 0
+}
+
+func derefCopy(p *counter) string {
+	v := *p // want "copies lock-containing value"
+	return v.name
+}

@@ -63,14 +63,18 @@ func Read(r io.Reader) (*Dataset, error) {
 	return d, nil
 }
 
-// Save writes the dataset to a file.
+// Save writes the dataset to a file. The close error is checked — Close
+// flushes, so dropping it could report success on a truncated file.
 func (d *Dataset) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("dataset: save: %w", err)
 	}
-	defer f.Close()
-	return d.Write(f)
+	err = d.Write(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("dataset: save: %w", cerr)
+	}
+	return err
 }
 
 // Load reads a dataset from a file.

@@ -1104,7 +1104,7 @@ func (c *Coordinator) NewSession(ctx context.Context, spec ProblemSpec, local ut
 // skip the spec, and blocked Eval calls abort.
 func (c *Coordinator) NewSessionWith(ctx context.Context, cfg SessionConfig) *Session {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //fedvallint:allow(ctxthread) nil-ctx compat fallback; callers that care pass their own
 	}
 	localLimit := cfg.LocalLimit
 	if localLimit <= 0 {

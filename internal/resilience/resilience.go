@@ -91,7 +91,7 @@ func (p Policy) Delay(attempt int) time.Duration {
 // from any Permanent marker.
 func (p Policy) Do(ctx context.Context, fn func(ctx context.Context) error) error {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //fedvallint:allow(ctxthread) nil-ctx compat fallback; callers that care pass their own
 	}
 	sleep := p.Sleep
 	if sleep == nil {

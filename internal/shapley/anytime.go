@@ -88,7 +88,15 @@ func NewTrackerForPlan(n int, confidence float64, plan []combin.Coalition) *Trac
 	for _, s := range plan {
 		in[s] = struct{}{}
 	}
-	for s := range in {
+	// Walk the plan in its own (seed-deterministic) order, visiting each
+	// distinct coalition once — never range the dedup map, so the cell
+	// populations are built identically run to run.
+	visited := make(map[combin.Coalition]struct{}, len(in))
+	for _, s := range plan {
+		if _, dup := visited[s]; dup {
+			continue
+		}
+		visited[s] = struct{}{}
 		size := s.Size()
 		for i := 0; i < n; i++ {
 			if s.Has(i) {

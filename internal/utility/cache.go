@@ -80,6 +80,7 @@ func (c *shardedCache) snapshot() map[combin.Coalition]float64 {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.RLock()
+		//fedvallint:allow(determinism) copying a map into a map is order-independent
 		for k, v := range sh.m {
 			out[k] = v
 		}

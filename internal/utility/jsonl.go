@@ -60,7 +60,7 @@ func ReplaceJSONL(path string, lines [][]byte) error {
 	// CreateTemp makes the file 0600; restore the permissions append
 	// created the original with, or cross-process readers lose it.
 	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
+		tmp.Close() //fedvallint:allow(durability) best-effort cleanup of a temp file already being abandoned for the chmod error
 		os.Remove(tmp.Name())
 		return fmt.Errorf("utility: replace jsonl: %w", err)
 	}

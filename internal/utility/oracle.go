@@ -94,7 +94,7 @@ func (o *Oracle) WrapEval(wrap func(EvalFunc) EvalFunc) {
 // SetContext implements ContextBinder.
 func (o *Oracle) SetContext(ctx context.Context) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //fedvallint:allow(ctxthread) nil-ctx compat fallback; callers that care pass their own
 	}
 	o.ctx.Store(ctx)
 }
@@ -144,7 +144,7 @@ func (o *Oracle) U(s combin.Coalition) float64 {
 	hit, _ := o.onHit.Load().(func(float64))
 	var start time.Time
 	if hit != nil {
-		start = time.Now()
+		start = time.Now() //fedvallint:allow(determinism) cache-hit latency telemetry only; never feeds values or fingerprints
 	}
 	if v, ok := o.cache.get(s); ok {
 		if hit != nil {
@@ -191,6 +191,7 @@ func (o *Oracle) Evals() int {
 // returns how many entries were new.
 func (o *Oracle) Warm(entries map[combin.Coalition]float64) int {
 	added := 0
+	//fedvallint:allow(determinism) putIfAbsent per distinct key is commutative; insertion order cannot affect cache contents or the count
 	for s, v := range entries {
 		if o.cache.putIfAbsent(s, v) {
 			added++

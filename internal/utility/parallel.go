@@ -37,7 +37,7 @@ import (
 // finished.
 func (o *Oracle) PrefetchStream(ctx context.Context, coalitions <-chan combin.Coalition, workers int) error {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //fedvallint:allow(ctxthread) nil-ctx compat fallback; callers that care pass their own
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -86,7 +86,7 @@ func (o *Oracle) PrefetchStream(ctx context.Context, coalitions <-chan combin.Co
 // budget accounting (distinct evaluations) is unchanged.
 func (o *Oracle) Prefetch(ctx context.Context, coalitions []combin.Coalition, workers int) error {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //fedvallint:allow(ctxthread) nil-ctx compat fallback; callers that care pass their own
 	}
 	// Deduplicate and drop cached entries up front.
 	pending := make([]combin.Coalition, 0, len(coalitions))

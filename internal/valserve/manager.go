@@ -595,6 +595,7 @@ func (m *Manager) attachNotify(j *Job) {
 		if st.Error != "" {
 			attrs = append(attrs, "error", st.Error)
 		}
+		//fedvallint:allow(ctxthread) slog.Log requires a ctx; job lifecycle logging has no request-scoped one
 		m.logger.Log(context.Background(), lvl, "job "+event, attrs...)
 	}
 }
@@ -611,6 +612,7 @@ func (m *Manager) replay() ([]*Job, error) {
 	}
 	var pending []*Job
 	for _, st := range entries {
+		//fedvallint:allow(ctxthread) job contexts are rooted at the daemon lifetime, not at any request
 		ctx, cancel := context.WithCancel(context.Background())
 		j := &Job{ctx: ctx, cancel: cancel, tel: m.tel}
 		if st.State.Terminal() {
@@ -717,6 +719,7 @@ func (m *Manager) submit(req fedshap.JobRequest, revalueOf string) (*fedshap.Job
 	if err := ValidateRequest(req, m.cfg.BuildProblem != nil); err != nil {
 		return nil, err
 	}
+	//fedvallint:allow(ctxthread) job contexts are rooted at the daemon lifetime, not at the submitting request
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{ctx: ctx, cancel: cancel, tel: m.tel, trace: obs.NewTrace()}
 	m.attachNotify(j)
@@ -1104,6 +1107,7 @@ func (m *Manager) SweepExpired() int {
 		// Jobs are live during a sweep: collect the snapshots inside the
 		// journal's critical section so a terminal record appended
 		// mid-compaction cannot be lost. The error is kept for Close.
+		//fedvallint:allow(durability) best-effort sweep compaction; CompactWith latches its error for Close
 		_ = m.journal.CompactWith(m.snapshotsOldestFirst)
 	}
 	return len(expired)

@@ -76,7 +76,9 @@ func newTelemetry(m *Manager) *telemetry {
 		"Time jobs spend queued before a pool worker picks them up.",
 		obs.ExpBuckets(0.001, 4, 10))
 
-	help := "Coalition evaluation latency by serving source (cache lookup, in-process training, fleet round trip)."
+	// const, not var: fedvallint's obsmetrics check verifies help text at
+	// compile time, so it must be a compile-time constant.
+	const help = "Coalition evaluation latency by serving source (cache lookup, in-process training, fleet round trip)."
 	t.evalCache = r.NewHistogram("fedvald_eval_latency_seconds", help, evalLatencyBuckets, "source", "cache")
 	t.evalLocal = r.NewHistogram("fedvald_eval_latency_seconds", help, evalLatencyBuckets, "source", "local")
 	t.evalRemote = r.NewHistogram("fedvald_eval_latency_seconds", help, evalLatencyBuckets, "source", "remote")
@@ -271,7 +273,9 @@ type WorkerTelemetry struct {
 // NewWorkerTelemetry builds the fedvalworker registry.
 func NewWorkerTelemetry() *WorkerTelemetry {
 	r := obs.NewRegistry()
-	help := "Assignments answered, by outcome: fresh training, warm cache answer, or error."
+	// const, not var: fedvallint's obsmetrics check verifies help text at
+	// compile time, so it must be a compile-time constant.
+	const help = "Assignments answered, by outcome: fresh training, warm cache answer, or error."
 	return &WorkerTelemetry{
 		reg:     r,
 		fresh:   r.NewCounter("fedvalworker_evaluations_total", help, "outcome", "fresh"),

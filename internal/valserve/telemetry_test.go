@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"fedshap"
+	"fedshap/internal/analysis"
 	"fedshap/internal/obs"
 )
 
@@ -79,8 +80,11 @@ func parseProm(t *testing.T, body string) map[string]float64 {
 }
 
 // TestMetricNameLint is the metric-name lint gate: every series either
-// daemon registers must carry the right prefix and unit suffix. CI runs
-// it as a dedicated step.
+// daemon registers must carry the right prefix and unit suffix. It goes
+// through analysis.MetricProblems — the same code path fedvallint's
+// obsmetrics analyzer applies at call sites — so the test and the linter
+// cannot drift apart. Label cardinality is checked statically by
+// fedvallint, so the runtime pass supplies zero label keys.
 func TestMetricNameLint(t *testing.T) {
 	coord, _ := startFleetCoordinator(t)
 	m, err := NewManager(Config{Workers: 1, Coordinator: coord})
@@ -88,11 +92,16 @@ func TestMetricNameLint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if probs := obs.Lint(m.Registry().Names()); len(probs) > 0 {
-		t.Errorf("fedvald registry lint: %v", probs)
-	}
-	if probs := obs.Lint(NewWorkerTelemetry().Registry().Names()); len(probs) > 0 {
-		t.Errorf("fedvalworker registry lint: %v", probs)
+	lintRegistryNames(t, "fedvald", m.Registry().Names())
+	lintRegistryNames(t, "fedvalworker", NewWorkerTelemetry().Registry().Names())
+}
+
+func lintRegistryNames(t *testing.T, who string, names map[string]obs.Type) {
+	t.Helper()
+	for name, typ := range names {
+		for _, p := range analysis.MetricProblems(name, typ, 0) {
+			t.Errorf("%s registry lint: %s", who, p)
+		}
 	}
 }
 

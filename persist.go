@@ -39,14 +39,19 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	})
 }
 
-// SaveJSON writes the report to a file.
+// SaveJSON writes the report to a file. The close error is checked —
+// Close flushes, so dropping it could report success on a truncated
+// file.
 func (r *Report) SaveJSON(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("fedshap: save report: %w", err)
 	}
-	defer f.Close()
-	return r.WriteJSON(f)
+	err = r.WriteJSON(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("fedshap: save report: %w", cerr)
+	}
+	return err
 }
 
 // ReadReportJSON parses a report previously written by WriteJSON.

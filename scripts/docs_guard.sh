@@ -40,7 +40,21 @@ done <<EOF
 $flags
 EOF
 
+# --- fedvallint analyzers ---------------------------------------------
+# The "Enforced invariants" table in ARCHITECTURE.md documents one row
+# per analyzer; its first column must match `fedvallint -list` exactly,
+# so adding or removing an analyzer forces the documentation to follow.
+documented=$(sed -n '/^## Enforced invariants/,/^## Deployment/p' ARCHITECTURE.md |
+	grep -oE '^\| `[a-z]+`' | tr -d '|` ' | sort)
+actual=$(go run ./cmd/fedvallint -list | sort)
+if [ "$documented" != "$actual" ]; then
+	echo "stale docs: ARCHITECTURE.md \"Enforced invariants\" table does not match fedvallint -list" >&2
+	echo "documented: $(echo "$documented" | tr '\n' ' ')" >&2
+	echo "actual:     $(echo "$actual" | tr '\n' ' ')" >&2
+	status=1
+fi
+
 if [ "$status" -eq 0 ]; then
-	echo "docs guard: all documented routes and flags exist"
+	echo "docs guard: all documented routes, flags and analyzers exist"
 fi
 exit "$status"

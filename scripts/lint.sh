@@ -1,0 +1,36 @@
+#!/bin/sh
+# lint.sh — the static-analysis gate: gofmt formatting, gofmt -s
+# simplifications, go vet, and fedvallint (the project-invariant
+# analyzers: ctxthread, determinism, durability, lockhygiene,
+# obsmetrics). CI runs this as one blocking step; run it locally before
+# pushing: sh scripts/lint.sh
+set -eu
+
+status=0
+
+echo "== gofmt =="
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$out" >&2
+	status=1
+fi
+
+echo "== gofmt -s (simplify) =="
+out=$(gofmt -s -l .)
+if [ -n "$out" ]; then
+	echo "gofmt -s simplifications available in:" >&2
+	gofmt -s -d $out >&2
+	status=1
+fi
+
+echo "== go vet =="
+go vet ./... || status=1
+
+echo "== fedvallint =="
+go run ./cmd/fedvallint ./... || status=1
+
+if [ "$status" -eq 0 ]; then
+	echo "lint: clean"
+fi
+exit "$status"
